@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Section 8: quantify the reverse-lookup countermeasure (Figure 4).
+
+If the OSN omits anyone whose own friend list is hidden from every
+*other* user's friend list, registered minors can no longer be
+discovered through their friends — the attack's coverage collapses.
+This script runs the identical attack with the defence off and on.
+
+Run:  python examples/countermeasure_eval.py
+"""
+
+from repro import ProfilerConfig, build_world, hs1, run_countermeasure_comparison
+from repro.analysis import figure4, render_figure
+
+
+def main() -> None:
+    print("Building the HS1 world...")
+    world = build_world(hs1())
+
+    print("Running the attack with and without reverse lookup...")
+    report = run_countermeasure_comparison(
+        world,
+        accounts=2,
+        config=ProfilerConfig(enhanced=True, filtering=True, threshold=500),
+        thresholds=(200, 250, 300, 350, 400, 450, 500),
+    )
+
+    print("\n" + render_figure(figure4(report)))
+    last = report.points[-1]
+    print(
+        f"\nDisabling reverse lookup cuts top-{last.threshold} coverage from "
+        f"{last.found_percent_with:.0f}% to {last.found_percent_without:.0f}% "
+        f"(paper: 92% -> 33%). Candidate pool shrank from "
+        f"{len(report.with_lookup.candidates)} to "
+        f"{len(report.without_lookup.candidates)} users."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: profile one synthetic high school end to end.
+
+Builds the calibrated HS1 world (a ~360-student private school on a
+simulated 2012 Facebook), runs the paper's enhanced methodology with
+filtering through the crawlable HTML frontend, and evaluates the result
+against ground truth — the experiment of Table 4 / Figure 1 in one page
+of code.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro import ProfilerConfig, build_world, evaluate_full, hs1, run_attack
+from repro.analysis import ascii_table
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 101
+    print("Building the HS1 world (synthetic 2012 Facebook)...")
+    world = build_world(hs1(seed))
+    truth = world.ground_truth()
+    school = world.school()
+    print(f"  school: {school.name} ({school.city}), "
+          f"{truth.enrolled_count} students, {truth.on_osn_count} on the OSN")
+    print(f"  students registered as adults (lied about age years ago): "
+          f"{len(world.adult_registered_students())}")
+
+    print("\nRunning the attack (enhanced methodology with filtering)...")
+    result = run_attack(
+        world,
+        accounts=2,
+        config=ProfilerConfig(threshold=500, enhanced=True, filtering=True),
+    )
+    print(f"  seeds harvested from the Find Friends Portal: {len(result.seeds)}")
+    print(f"  core users (self-identified, public friend lists): "
+          f"{result.initial_core_size} -> {result.extended_core_size} after extension")
+    print(f"  candidate set (reverse lookup): {len(result.candidates)}")
+    print(f"  HTTP GETs spent: {result.effort.total}")
+
+    print("\nEvaluation against confidential ground truth:")
+    rows = []
+    for t in (200, 300, 400, 500):
+        e = evaluate_full(result, truth, t)
+        rows.append(
+            (
+                t,
+                f"{100 * e.found_fraction:.0f}%",
+                f"{e.found}/{e.correct_year}",
+                e.false_positives,
+                f"{100 * e.false_positive_rate:.0f}%",
+            )
+        )
+    print(
+        ascii_table(
+            ("top t", "students found", "found/correct-year", "false pos.", "FP rate"),
+            rows,
+        )
+    )
+    e400 = evaluate_full(result, truth, 400)
+    print(
+        f"\nAt t=400 a stranger recovered {100 * e400.found_fraction:.0f}% of the "
+        f"student body,\nclassifying {100 * e400.year_accuracy:.0f}% of them into "
+        "the correct graduation year -\ninformation Facebook never exposes for "
+        "registered minors."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro - reproduction of "Profiling High-School Students with Facebook:
+How Online Privacy Laws Can Actually Increase Minors' Risk"
+(Dey, Ding, Ross - IMC 2013).
+
+The live Facebook of 2012 is gone, so this package ships a complete
+substitute substrate plus the paper's methodology on top of it:
+
+* :mod:`repro.osn` - a simulated OSN: accounts with real vs. registered
+  birth dates, per-field privacy, the documented Facebook/Google+ minor
+  policies (Tables 1/6), people search that excludes registered minors,
+  an HTML frontend and anti-crawling rate limits.
+* :mod:`repro.worldgen` - calibrated synthetic populations (schools,
+  churn, alumni, parents, externals) with the COPPA age-lying model.
+* :mod:`repro.crawler` - the attacker's I/O: account pool, politeness,
+  effort accounting, page parsing, SQLite storage.
+* :mod:`repro.core` - the attack: seeds -> core set -> reverse-lookup
+  scoring -> threshold selection, with the enhanced/filtering variants,
+  profile extension, hidden-link inference, the without-COPPA analysis
+  and the reverse-lookup countermeasure.
+* :mod:`repro.analysis` - regenerate every table and figure.
+
+Quickstart::
+
+    from repro import build_world, hs1, run_attack, ProfilerConfig, evaluate_full
+
+    world = build_world(hs1())
+    result = run_attack(world, accounts=2,
+                        config=ProfilerConfig(threshold=400, enhanced=True, filtering=True))
+    print(evaluate_full(result, world.ground_truth()).found_fraction)
+"""
+
+from .core import (
+    AttackResult,
+    FilterConfig,
+    FullEvaluation,
+    HighSchoolProfiler,
+    PartialEvaluation,
+    ProfilerConfig,
+    ScoringRule,
+    build_extended_profiles,
+    collect_test_users,
+    evaluate_full,
+    evaluate_partial,
+    infer_hidden_links,
+    make_client,
+    run_attack,
+    run_countermeasure_comparison,
+    run_natural_approach,
+    sweep_full,
+    sweep_partial,
+    table5_stats,
+)
+from .osn import SocialNetwork, facebook_policy, googleplus_policy
+from .worldgen import World, WorldConfig, build_world, hs1, hs2, hs3, preset, tiny
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackResult",
+    "FilterConfig",
+    "FullEvaluation",
+    "HighSchoolProfiler",
+    "PartialEvaluation",
+    "ProfilerConfig",
+    "ScoringRule",
+    "SocialNetwork",
+    "World",
+    "WorldConfig",
+    "__version__",
+    "build_extended_profiles",
+    "build_world",
+    "collect_test_users",
+    "evaluate_full",
+    "evaluate_partial",
+    "facebook_policy",
+    "googleplus_policy",
+    "hs1",
+    "hs2",
+    "hs3",
+    "infer_hidden_links",
+    "make_client",
+    "preset",
+    "run_attack",
+    "run_countermeasure_comparison",
+    "run_natural_approach",
+    "sweep_full",
+    "sweep_partial",
+    "table5_stats",
+]

@@ -1,0 +1,59 @@
+"""Analysis layer: regenerate every table and figure, plus attack reports."""
+
+from .figures import (
+    Figure,
+    Series,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    log10_gap_at_matched_coverage,
+    render_figure,
+)
+from .metrics import TradeoffCurve, tradeoff_curve
+from .report import attack_report_markdown
+from .robustness import RobustnessSummary, SeedRun, run_across_seeds
+from .svg import render_figure_svg, save_figure_svg
+from .tables import (
+    DatasetRow,
+    EffortRow,
+    ascii_table,
+    dataset_row,
+    effort_row,
+    policy_visibility_matrix,
+    render_policy_table,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+__all__ = [
+    "DatasetRow",
+    "EffortRow",
+    "Figure",
+    "RobustnessSummary",
+    "SeedRun",
+    "Series",
+    "TradeoffCurve",
+    "ascii_table",
+    "attack_report_markdown",
+    "dataset_row",
+    "effort_row",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "log10_gap_at_matched_coverage",
+    "policy_visibility_matrix",
+    "render_figure",
+    "render_policy_table",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_figure_svg",
+    "render_table5",
+    "run_across_seeds",
+    "save_figure_svg",
+    "tradeoff_curve",
+]

@@ -1,0 +1,197 @@
+"""Series builders for the paper's figures, with ASCII rendering.
+
+Each ``figureN`` helper turns attack results into the same x/y series
+the paper plots; :func:`render_figure` prints them as aligned columns
+(the benchmarks' output), so "regenerating Figure N" means printing the
+series a plotting script would consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.coppaless import CoveragePoint
+from repro.core.countermeasures import CountermeasureReport
+from repro.core.evaluation import FullEvaluation, PartialEvaluation
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line of a figure."""
+
+    name: str
+    points: Tuple[Tuple[float, float], ...]
+
+    @classmethod
+    def of(cls, name: str, points: Sequence[Tuple[float, float]]) -> "Series":
+        return cls(name=name, points=tuple(points))
+
+    def ys(self) -> List[float]:
+        return [y for _, y in self.points]
+
+    def xs(self) -> List[float]:
+        return [x for x, _ in self.points]
+
+
+@dataclass
+class Figure:
+    """A figure: shared x axis, one or more series."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    log_y: bool = False
+
+    def series_by_name(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+
+def render_figure(figure: Figure, precision: int = 1) -> str:
+    """Render a figure's series as aligned columns of numbers."""
+    xs: List[float] = sorted({x for s in figure.series for x, _ in s.points})
+    lookup: Dict[str, Dict[float, float]] = {
+        s.name: dict(s.points) for s in figure.series
+    }
+    headers = [figure.x_label] + [s.name for s in figure.series]
+    rows: List[List[str]] = []
+    for x in xs:
+        row = [f"{x:g}"]
+        for s in figure.series:
+            y = lookup[s.name].get(x)
+            row.append("-" if y is None else f"{y:.{precision}f}")
+        rows.append(row)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [figure.title, f"(y: {figure.y_label}{', log scale' if figure.log_y else ''})"]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 1: HS1 coverage / false positives vs threshold
+# ----------------------------------------------------------------------
+
+def figure1(evaluations: Sequence[FullEvaluation], school_label: str = "HS1") -> Figure:
+    found = Series.of(
+        f"% of students found for {school_label}",
+        [(e.threshold, 100.0 * e.found_fraction) for e in evaluations],
+    )
+    fps = Series.of(
+        f"% of false positives for {school_label}",
+        [(e.threshold, 100.0 * e.false_positive_rate) for e in evaluations],
+    )
+    return Figure(
+        title=f"Figure 1: overall performance of enhanced methodology for {school_label}",
+        x_label="Top t value",
+        y_label="percentage",
+        series=[found, fps],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2: HS2/HS3 estimated coverage / false positives vs threshold
+# ----------------------------------------------------------------------
+
+def figure2(
+    evaluations_by_school: Mapping[str, Sequence[PartialEvaluation]]
+) -> Figure:
+    series: List[Series] = []
+    for school, evals in evaluations_by_school.items():
+        series.append(
+            Series.of(
+                f"% of students found for {school}",
+                [(e.threshold, e.found_percent) for e in evals],
+            )
+        )
+        series.append(
+            Series.of(
+                f"% of false positives for {school}",
+                [(e.threshold, e.false_positive_percent) for e in evals],
+            )
+        )
+    return Figure(
+        title="Figure 2: overall performance of enhanced methodology (partial ground truth)",
+        x_label="Top t value",
+        y_label="estimated percentage",
+        series=series,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3: false positives (log) vs % minimal-profile students found
+# ----------------------------------------------------------------------
+
+def figure3(
+    with_coppa: Sequence[CoveragePoint],
+    without_coppa: Sequence[CoveragePoint],
+) -> Figure:
+    """With- vs without-COPPA false positives at matched coverage."""
+    with_series = Series.of(
+        "With-COPPA",
+        [(p.found_percent, float(max(p.false_positives, 1))) for p in with_coppa],
+    )
+    without_series = Series.of(
+        "Without-COPPA",
+        [(p.found_percent, float(max(p.false_positives, 1))) for p in without_coppa],
+    )
+    return Figure(
+        title="Figure 3: false positives, with-COPPA vs without-COPPA",
+        x_label="% of minimal-profile students found",
+        y_label="number of false positives",
+        series=[with_series, without_series],
+        log_y=True,
+    )
+
+
+def log10_gap_at_matched_coverage(figure: Figure) -> Optional[float]:
+    """Order-of-magnitude FP gap between the two Figure-3 series.
+
+    Finds the pair of points (one per series) closest in coverage and
+    returns log10(FP_without / FP_with) — the paper's headline is a gap
+    of one to two orders of magnitude.
+    """
+    try:
+        with_s = figure.series_by_name("With-COPPA")
+        without_s = figure.series_by_name("Without-COPPA")
+    except KeyError:
+        return None
+    best: Optional[Tuple[float, float, float]] = None
+    for xw, yw in with_s.points:
+        for xo, yo in without_s.points:
+            gap = abs(xw - xo)
+            if best is None or gap < best[0]:
+                best = (gap, yw, yo)
+    if best is None or best[1] <= 0:
+        return None
+    return math.log10(best[2] / best[1])
+
+
+# ----------------------------------------------------------------------
+# Figure 4: coverage with and without reverse lookup
+# ----------------------------------------------------------------------
+
+def figure4(report: CountermeasureReport, school_label: str = "HS1") -> Figure:
+    with_series = Series.of(
+        "With reverse lookup",
+        [(p.threshold, p.found_percent_with) for p in report.points],
+    )
+    without_series = Series.of(
+        "Without reverse lookup",
+        [(p.threshold, p.found_percent_without) for p in report.points],
+    )
+    return Figure(
+        title=f"Figure 4: percentage of {school_label} students found with and without reverse lookup",
+        x_label="Top t value",
+        y_label="% of students found",
+        series=[with_series, without_series],
+    )

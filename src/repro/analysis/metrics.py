@@ -1,0 +1,85 @@
+"""Shared metric utilities: trade-off curves and summary statistics.
+
+The attack's operating point is a threshold on a ranking, so its
+quality is best described as a *trade-off curve* — students found vs.
+false positives as t sweeps — rather than any single number.  This
+module builds those curves from an attack result and reduces them to
+comparable scalars (area-under-curve style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.evaluation import evaluate_full
+from repro.core.profiler import AttackResult
+from repro.worldgen.world import SchoolGroundTruth
+
+
+@dataclass(frozen=True)
+class TradeoffCurve:
+    """Coverage vs. false positives over a threshold sweep.
+
+    ``points`` are (false_positives, found) pairs in increasing-t
+    order; both coordinates are monotone non-decreasing in t.
+    """
+
+    points: Tuple[Tuple[int, int], ...]
+    students_on_osn: int
+
+    def coverage_at_fp_budget(self, max_false_positives: int) -> float:
+        """Best coverage achievable within a false-positive budget."""
+        best = 0
+        for fps, found in self.points:
+            if fps <= max_false_positives:
+                best = max(best, found)
+        return best / self.students_on_osn if self.students_on_osn else 0.0
+
+    def normalized_auc(self) -> float:
+        """Area under coverage (y) vs FP-fraction (x), both in [0, 1].
+
+        1.0 would mean full coverage at zero false positives; a random
+        ranking scores near the candidate-set base rate.  Computed by
+        trapezoid over the swept range and normalised by the x-span, so
+        curves swept over the same thresholds are comparable.
+        """
+        if len(self.points) < 2 or self.students_on_osn == 0:
+            return 0.0
+        max_fp = self.points[-1][0]
+        if max_fp == 0:
+            return self.points[-1][1] / self.students_on_osn
+        area = 0.0
+        for (fp0, found0), (fp1, found1) in zip(self.points, self.points[1:]):
+            width = (fp1 - fp0) / max_fp
+            height = (found0 + found1) / (2.0 * self.students_on_osn)
+            area += width * height
+        return area
+
+    def dominates(self, other: "TradeoffCurve") -> bool:
+        """Whether this curve is at least as good everywhere (same sweep)."""
+        if len(self.points) != len(other.points):
+            raise ValueError("curves must come from the same threshold sweep")
+        return all(
+            mine_found >= theirs_found and mine_fp <= theirs_fp
+            for (mine_fp, mine_found), (theirs_fp, theirs_found) in zip(
+                self.points, other.points
+            )
+        )
+
+
+def tradeoff_curve(
+    result: AttackResult,
+    truth: SchoolGroundTruth,
+    thresholds: Optional[Sequence[int]] = None,
+) -> TradeoffCurve:
+    """Build the coverage/FP trade-off curve for one attack run."""
+    if thresholds is None:
+        top = max(len(result.ranking), 1)
+        step = max(top // 20, 1)
+        thresholds = list(range(step, top + 1, step))
+    points: List[Tuple[int, int]] = []
+    for t in thresholds:
+        evaluation = evaluate_full(result, truth, t)
+        points.append((evaluation.false_positives, evaluation.found))
+    return TradeoffCurve(points=tuple(points), students_on_osn=truth.on_osn_count)

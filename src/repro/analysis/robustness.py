@@ -1,0 +1,110 @@
+"""Multi-seed robustness: are the headline results seed-luck?
+
+The paper ran once against live Facebook; a simulator can do better.
+:func:`run_across_seeds` rebuilds the world and reruns the attack under
+N different RNG seeds and summarises coverage / false-positive-rate /
+year-accuracy distributions, so every headline claim can be stated with
+dispersion rather than as a single draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from statistics import mean, pstdev
+from typing import List, Optional, Sequence
+
+from repro.core.api import run_attack
+from repro.core.evaluation import FullEvaluation, evaluate_full
+from repro.core.profiler import ProfilerConfig
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.world import build_world
+
+
+@dataclass(frozen=True)
+class SeedRun:
+    """One seed's outcome."""
+
+    seed: int
+    evaluation: FullEvaluation
+    core_size: int
+    candidates: int
+
+
+@dataclass(frozen=True)
+class RobustnessSummary:
+    """Distribution of the headline metrics across seeds."""
+
+    runs: tuple
+    threshold: int
+
+    def _values(self, getter) -> List[float]:
+        return [getter(r) for r in self.runs]
+
+    @property
+    def coverage_mean(self) -> float:
+        return mean(self._values(lambda r: r.evaluation.found_fraction))
+
+    @property
+    def coverage_std(self) -> float:
+        return pstdev(self._values(lambda r: r.evaluation.found_fraction))
+
+    @property
+    def coverage_min(self) -> float:
+        return min(self._values(lambda r: r.evaluation.found_fraction))
+
+    @property
+    def coverage_max(self) -> float:
+        return max(self._values(lambda r: r.evaluation.found_fraction))
+
+    @property
+    def fp_rate_mean(self) -> float:
+        return mean(self._values(lambda r: r.evaluation.false_positive_rate))
+
+    @property
+    def fp_rate_std(self) -> float:
+        return pstdev(self._values(lambda r: r.evaluation.false_positive_rate))
+
+    @property
+    def year_accuracy_mean(self) -> float:
+        return mean(self._values(lambda r: r.evaluation.year_accuracy))
+
+    @property
+    def core_mean(self) -> float:
+        return mean(self._values(lambda r: float(r.core_size)))
+
+    def describe(self) -> str:
+        return (
+            f"coverage {100 * self.coverage_mean:.0f}% "
+            f"± {100 * self.coverage_std:.0f} "
+            f"(min {100 * self.coverage_min:.0f}%, max {100 * self.coverage_max:.0f}%), "
+            f"FP rate {100 * self.fp_rate_mean:.0f}% ± {100 * self.fp_rate_std:.0f}, "
+            f"year accuracy {100 * self.year_accuracy_mean:.0f}% "
+            f"over {len(self.runs)} seeds at t={self.threshold}"
+        )
+
+
+def run_across_seeds(
+    base_config: WorldConfig,
+    seeds: Sequence[int],
+    attack_config: Optional[ProfilerConfig] = None,
+    accounts: int = 2,
+    t: Optional[int] = None,
+) -> RobustnessSummary:
+    """Rebuild + re-attack the same world recipe under each seed."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    attack_config = attack_config or ProfilerConfig(enhanced=True, filtering=True)
+    runs: List[SeedRun] = []
+    threshold = t or attack_config.threshold or base_config.schools[0].enrollment
+    for seed in seeds:
+        world = build_world(replace(base_config, seed=seed))
+        result = run_attack(world, accounts=accounts, config=attack_config)
+        runs.append(
+            SeedRun(
+                seed=seed,
+                evaluation=evaluate_full(result, world.ground_truth(), threshold),
+                core_size=result.extended_core_size,
+                candidates=len(result.candidates),
+            )
+        )
+    return RobustnessSummary(runs=tuple(runs), threshold=threshold)

@@ -1,0 +1,221 @@
+"""SVG rendering for figures: actual plots, stdlib only.
+
+The benchmark harness prints each figure's series as aligned numbers;
+this module additionally renders them as a self-contained SVG line
+chart (axes, ticks, legend, optional log-y) so "regenerate Figure N"
+produces a picture a reader can compare with the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .figures import Figure, Series
+
+#: A small qualitative palette (colour-blind friendly).
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#56B4E9", "#E69F00")
+
+
+@dataclass(frozen=True)
+class ChartGeometry:
+    """Pixel layout of the chart area."""
+
+    width: int = 640
+    height: int = 420
+    margin_left: int = 70
+    margin_right: int = 20
+    margin_top: int = 50
+    margin_bottom: int = 90
+
+    @property
+    def plot_width(self) -> int:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_height(self) -> int:
+        return self.height - self.margin_top - self.margin_bottom
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> List[float]:
+    """Roughly ``count`` round-numbered ticks covering [low, high]."""
+    if high <= low:
+        return [low]
+    span = high - low
+    raw_step = span / max(count - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 2.5, 5, 10):
+        step = multiple * magnitude
+        if span / step <= count:
+            break
+    start = math.floor(low / step) * step
+    ticks = []
+    tick = start
+    while tick <= high + step / 2:
+        if tick >= low - step / 2:
+            ticks.append(round(tick, 10))
+        tick += step
+    return ticks
+
+
+def _log_ticks(low: float, high: float) -> List[float]:
+    """Decade ticks for a log axis."""
+    low = max(low, 1e-9)
+    first = math.floor(math.log10(low))
+    last = math.ceil(math.log10(max(high, low * 10)))
+    return [10.0 ** e for e in range(first, last + 1)]
+
+
+class SvgChartBuilder:
+    """Builds one line chart from a :class:`Figure`."""
+
+    def __init__(self, figure: Figure, geometry: Optional[ChartGeometry] = None):
+        self.figure = figure
+        self.geom = geometry or ChartGeometry()
+        xs = [x for s in figure.series for x, _ in s.points]
+        ys = [y for s in figure.series for _, y in s.points]
+        if not xs:
+            raise ValueError("cannot render a figure with no points")
+        self.x_min, self.x_max = min(xs), max(xs)
+        self.y_min, self.y_max = min(ys), max(ys)
+        if figure.log_y:
+            self.y_min = max(self.y_min, 1e-9)
+        if self.x_min == self.x_max:
+            self.x_max = self.x_min + 1
+        if self.y_min == self.y_max:
+            self.y_max = self.y_min + 1
+
+    # ------------------------------------------------------------------
+    # Coordinate transforms
+    # ------------------------------------------------------------------
+    def _x_px(self, x: float) -> float:
+        frac = (x - self.x_min) / (self.x_max - self.x_min)
+        return self.geom.margin_left + frac * self.geom.plot_width
+
+    def _y_px(self, y: float) -> float:
+        if self.figure.log_y:
+            y = max(y, 1e-9)
+            frac = (math.log10(y) - math.log10(self.y_min)) / (
+                math.log10(self.y_max) - math.log10(self.y_min)
+            )
+        else:
+            frac = (y - self.y_min) / (self.y_max - self.y_min)
+        return self.geom.margin_top + (1.0 - frac) * self.geom.plot_height
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.geom.width}" '
+            f'height="{self.geom.height}" viewBox="0 0 {self.geom.width} '
+            f'{self.geom.height}" font-family="sans-serif">',
+            f'<rect width="{self.geom.width}" height="{self.geom.height}" fill="white"/>',
+            self._title(),
+            self._axes(),
+            self._grid_and_ticks(),
+        ]
+        for i, series in enumerate(self.figure.series):
+            parts.append(self._series_path(series, PALETTE[i % len(PALETTE)]))
+        parts.append(self._legend())
+        parts.append("</svg>")
+        return "\n".join(p for p in parts if p)
+
+    def _title(self) -> str:
+        return (
+            f'<text x="{self.geom.width / 2}" y="24" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_esc(self.figure.title)}</text>'
+        )
+
+    def _axes(self) -> str:
+        g = self.geom
+        x0, y0 = g.margin_left, g.margin_top + g.plot_height
+        x1 = g.margin_left + g.plot_width
+        y1 = g.margin_top
+        return (
+            f'<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/>'
+            f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>'
+            f'<text x="{(x0 + x1) / 2}" y="{y0 + 36}" text-anchor="middle" '
+            f'font-size="12">{_esc(self.figure.x_label)}</text>'
+            f'<text x="18" y="{(y0 + y1) / 2}" text-anchor="middle" font-size="12" '
+            f'transform="rotate(-90 18 {(y0 + y1) / 2})">{_esc(self.figure.y_label)}</text>'
+        )
+
+    def _grid_and_ticks(self) -> str:
+        g = self.geom
+        parts: List[str] = []
+        for tick in _nice_ticks(self.x_min, self.x_max):
+            px = self._x_px(tick)
+            y0 = g.margin_top + g.plot_height
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{y0}" x2="{px:.1f}" y2="{y0 + 5}" stroke="black"/>'
+                f'<text x="{px:.1f}" y="{y0 + 18}" text-anchor="middle" '
+                f'font-size="10">{tick:g}</text>'
+            )
+        y_ticks = (
+            _log_ticks(self.y_min, self.y_max)
+            if self.figure.log_y
+            else _nice_ticks(self.y_min, self.y_max)
+        )
+        for tick in y_ticks:
+            py = self._y_px(tick)
+            parts.append(
+                f'<line x1="{g.margin_left - 5}" y1="{py:.1f}" '
+                f'x2="{g.margin_left}" y2="{py:.1f}" stroke="black"/>'
+                f'<line x1="{g.margin_left}" y1="{py:.1f}" '
+                f'x2="{g.margin_left + g.plot_width}" y2="{py:.1f}" '
+                f'stroke="#dddddd" stroke-width="0.5"/>'
+                f'<text x="{g.margin_left - 8}" y="{py + 3:.1f}" text-anchor="end" '
+                f'font-size="10">{tick:g}</text>'
+            )
+        return "".join(parts)
+
+    def _series_path(self, series: Series, colour: str) -> str:
+        points = sorted(series.points)
+        coords = " ".join(
+            f"{self._x_px(x):.1f},{self._y_px(y):.1f}" for x, y in points
+        )
+        markers = "".join(
+            f'<circle cx="{self._x_px(x):.1f}" cy="{self._y_px(y):.1f}" r="3" '
+            f'fill="{colour}"/>'
+            for x, y in points
+        )
+        return (
+            f'<polyline points="{coords}" fill="none" stroke="{colour}" '
+            f'stroke-width="2"/>{markers}'
+        )
+
+    def _legend(self) -> str:
+        g = self.geom
+        parts: List[str] = []
+        y = g.height - 40
+        x = g.margin_left
+        for i, series in enumerate(self.figure.series):
+            colour = PALETTE[i % len(PALETTE)]
+            parts.append(
+                f'<rect x="{x}" y="{y - 9}" width="12" height="12" fill="{colour}"/>'
+                f'<text x="{x + 18}" y="{y + 1}" font-size="11">{_esc(series.name)}</text>'
+            )
+            y += 16
+            if y > g.height - 8:
+                y = g.height - 40
+                x += g.plot_width // 2
+        return "".join(parts)
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def render_figure_svg(figure: Figure) -> str:
+    """Render a :class:`Figure` to a standalone SVG document."""
+    return SvgChartBuilder(figure).render()
+
+
+def save_figure_svg(figure: Figure, path: str) -> None:
+    """Render and write an SVG file."""
+    with open(path, "w") as handle:
+        handle.write(render_figure_svg(figure))

@@ -1,0 +1,359 @@
+"""Regenerating the paper's tables from live engine behaviour.
+
+Tables 1 and 6 are produced by *probing the policy engine* (building
+fully populated minor/adult accounts under default and worst-case
+settings and rendering their stranger views), so the table is guaranteed
+to describe what the simulator actually enforces.  Tables 2–5 aggregate
+attack results and world statistics.
+
+All tables render to aligned ASCII via :func:`ascii_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.evaluation import FullEvaluation
+from repro.core.extension import AdultRegisteredStats
+from repro.core.profiler import AttackResult
+from repro.osn.clock import SimClock
+from repro.osn.network import SocialNetwork
+from repro.osn.policy import SitePolicy
+from repro.osn.privacy import PrivacySettings
+from repro.osn.profile import (
+    Birthday,
+    ContactInfo,
+    Gender,
+    Name,
+    Profile,
+    SchoolAffiliation,
+    WallPost,
+)
+from repro.osn.view import ProfileView
+
+
+# ----------------------------------------------------------------------
+# Generic ASCII table rendering
+# ----------------------------------------------------------------------
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned, pipe-separated ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0]))
+    lines.append(separator)
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def check(flag: bool) -> str:
+    """The paper's checkmark convention."""
+    return "x" if flag else ""
+
+
+# ----------------------------------------------------------------------
+# Tables 1 and 6: policy visibility matrices, probed from the engine
+# ----------------------------------------------------------------------
+
+#: (row label, predicate over the stranger's ProfileView)
+_VisibilityRow = Tuple[str, Callable[[ProfileView], bool]]
+
+FACEBOOK_ROWS: Tuple[_VisibilityRow, ...] = (
+    (
+        "Name, Gender, Networks, Profile Photo",
+        lambda v: v.gender is not None and bool(v.networks) and v.has_profile_photo,
+    ),
+    (
+        "HS, Relationship, Interested In",
+        lambda v: bool(v.high_schools)
+        and v.relationship_status is not None
+        and v.interested_in is not None,
+    ),
+    ("Birthday", lambda v: v.birthday_year is not None),
+    (
+        "Hometown, Current City, Friendlist",
+        lambda v: v.hometown is not None
+        and v.current_city is not None
+        and v.friend_list_visible,
+    ),
+    ("Photos", lambda v: v.photo_count is not None),
+    ("Contact Information", lambda v: v.contact_email is not None),
+    ("Public Search", lambda v: v.public_search_listed),
+)
+
+GOOGLEPLUS_ROWS: Tuple[_VisibilityRow, ...] = (
+    ("Name, Profile Picture", lambda v: v.has_profile_photo),
+    (
+        "Gender, Employment, HS, Hometown, Current City",
+        lambda v: v.gender is not None
+        and v.employer is not None
+        and bool(v.high_schools)
+        and v.hometown is not None
+        and v.current_city is not None,
+    ),
+    ("Home and Work Phone", lambda v: v.contact_phone is not None),
+    (
+        "Relationship, Looking",
+        lambda v: v.relationship_status is not None and v.interested_in is not None,
+    ),
+    ("Birthday", lambda v: v.birthday_year is not None),
+    ("Photos", lambda v: v.photo_count is not None),
+    ("Public Search", lambda v: v.public_search_listed),
+    ("In Your Circles", lambda v: v.friend_list_visible),
+    ("Have You in Circles", lambda v: v.friend_list_visible),
+)
+
+
+def _full_profile(name: Name, school_id: int) -> Profile:
+    """A profile with every field populated, to probe visibility."""
+    return Profile(
+        name=name,
+        gender=Gender.FEMALE,
+        networks=("Springfield High",),
+        has_profile_photo=True,
+        high_schools=(SchoolAffiliation(school_id, "Springfield High", 2014),),
+        relationship_status="Single",
+        interested_in="Men",
+        birthday=Birthday(1996),
+        hometown="Springfield",
+        current_city="Springfield",
+        employer="Acme Corp",
+        graduate_school="State University",
+        photo_count=12,
+        wall_posts=[WallPost(author_id=0, text="hi")],
+        contact_info=ContactInfo(email="probe@example.com", phone="555-0100"),
+    )
+
+
+def policy_visibility_matrix(policy: SitePolicy) -> List[Tuple[str, bool, bool, bool, bool]]:
+    """(row, default minor, default adult, worst minor, worst adult) flags.
+
+    Probes the policy engine: four fully populated accounts — a
+    registered minor and a registered adult, each under the site's
+    default settings and under maximum sharing — rendered as a stranger
+    sees them.
+    """
+    clock = SimClock(now_year=2012.25)
+    network = SocialNetwork(policy=policy, clock=clock)
+    school = network.register_school("Springfield High", "Springfield")
+    probes = {}
+    specs = (
+        ("default_minor", Birthday(1997), policy.default_minor_settings),
+        ("default_adult", Birthday(1985), policy.default_adult_settings),
+        ("worst_minor", Birthday(1997), PrivacySettings.everything_public()),
+        ("worst_adult", Birthday(1985), PrivacySettings.everything_public()),
+    )
+    for label, birthday, settings in specs:
+        account = network.register_account(
+            profile=_full_profile(Name("Probe", label.title()), school.school_id),
+            registered_birthday=birthday,
+            settings=settings,
+            enforce_minimum_age=False,
+        )
+        probes[label] = network.view_profile(None, account.user_id)
+
+    rows = FACEBOOK_ROWS if policy.name == "facebook" else GOOGLEPLUS_ROWS
+    return [
+        (
+            label,
+            predicate(probes["default_minor"]),
+            predicate(probes["default_adult"]),
+            predicate(probes["worst_minor"]),
+            predicate(probes["worst_adult"]),
+        )
+        for label, predicate in rows
+    ]
+
+
+def render_policy_table(policy: SitePolicy, title: str) -> str:
+    """Tables 1 and 6: default/worst-case stranger visibility."""
+    matrix = policy_visibility_matrix(policy)
+    rows = [
+        (label, check(dm), check(da), check(wm), check(wa))
+        for label, dm, da, wm, wa in matrix
+    ]
+    headers = (
+        "Information",
+        "Default Reg. Minors",
+        "Default Reg. Adults",
+        "Worst-case Reg. Minors",
+        "Worst-case Reg. Adults",
+    )
+    return ascii_table(headers, rows, title=title)
+
+
+# ----------------------------------------------------------------------
+# Table 2: seeds, core users and candidates per school
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DatasetRow:
+    """One school's dataset summary (Table 2)."""
+
+    school: str
+    enrolled: int
+    on_osn: Optional[int]
+    seeds: int
+    core_users: int
+    candidates: int
+    extended_core: int
+
+
+def dataset_row(
+    school_label: str,
+    result: AttackResult,
+    enrolled: int,
+    on_osn: Optional[int] = None,
+) -> DatasetRow:
+    return DatasetRow(
+        school=school_label,
+        enrolled=enrolled,
+        on_osn=on_osn,
+        seeds=len(result.seeds),
+        core_users=result.initial_core_size,
+        candidates=len(result.candidates),
+        extended_core=result.extended_core_size,
+    )
+
+
+def render_table2(rows: Sequence[DatasetRow]) -> str:
+    headers = (
+        "High school",
+        "# students",
+        "# on OSN",
+        "# seeds",
+        "# core users",
+        "# candidates",
+        "# extended core",
+    )
+    body = [
+        (
+            r.school,
+            r.enrolled,
+            r.on_osn if r.on_osn is not None else "N/A",
+            r.seeds,
+            r.core_users,
+            r.candidates,
+            r.extended_core,
+        )
+        for r in rows
+    ]
+    return ascii_table(headers, body, title="Table 2: seeds, core users, candidates")
+
+
+# ----------------------------------------------------------------------
+# Table 3: measurement effort
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EffortRow:
+    """One school's effort summary (Table 3)."""
+
+    school: str
+    accounts: int
+    seed_requests: int
+    profile_requests: int
+    friend_list_requests: int
+    total_basic: int
+    total_enhanced: int
+
+
+def effort_row(
+    school_label: str, basic: AttackResult, enhanced: AttackResult
+) -> EffortRow:
+    b = basic.effort
+    e = enhanced.effort
+    return EffortRow(
+        school=school_label,
+        accounts=e.accounts_used,
+        seed_requests=b.seed_requests,
+        profile_requests=b.profile_requests,
+        friend_list_requests=b.friend_list_requests,
+        total_basic=b.total,
+        total_enhanced=e.total,
+    )
+
+
+def render_table3(rows: Sequence[EffortRow]) -> str:
+    headers = (
+        "High school",
+        "Accounts",
+        "Seed reqs",
+        "Profile reqs",
+        "Friend-list reqs",
+        "Total (basic)",
+        "Total (enhanced)",
+    )
+    body = [
+        (
+            r.school,
+            r.accounts,
+            r.seed_requests,
+            r.profile_requests,
+            r.friend_list_requests,
+            r.total_basic,
+            r.total_enhanced,
+        )
+        for r in rows
+    ]
+    return ascii_table(headers, body, title="Table 3: measurement effort (HTTP GETs)")
+
+
+# ----------------------------------------------------------------------
+# Table 4: HS1 results grid
+# ----------------------------------------------------------------------
+
+def render_table4(
+    evaluations: Mapping[str, Sequence[FullEvaluation]],
+    thresholds: Sequence[int],
+) -> str:
+    """The found/correct-year grid over methodology variants and t."""
+    headers = ["Methodology"] + [f"Top {t}" for t in thresholds]
+    body = []
+    for variant, evals in evaluations.items():
+        by_t = {e.threshold: e for e in evals}
+        body.append(
+            [variant] + [by_t[t].found_over_correct if t in by_t else "-" for t in thresholds]
+        )
+    return ascii_table(headers, body, title="Table 4: results for HS1 (found/correct-year)")
+
+
+# ----------------------------------------------------------------------
+# Table 5: extending profiles of minors registered as adults
+# ----------------------------------------------------------------------
+
+def render_table5(stats: Mapping[str, AdultRegisteredStats]) -> str:
+    schools = list(stats)
+    rows = [
+        ["# minors registered as adults"] + [stats[s].count for s in schools],
+        ["entire friend list public"]
+        + [f"{stats[s].pct_friend_list_public:.0f}%" for s in schools],
+        ["avg # friends (public lists)"]
+        + [f"{stats[s].avg_friends_when_public:.0f}" for s in schools],
+        ["public search enabled"]
+        + [f"{stats[s].pct_public_search:.0f}%" for s in schools],
+        ["Message link"] + [f"{stats[s].pct_message_link:.0f}%" for s in schools],
+        ["relationship info"] + [f"{stats[s].pct_relationship:.0f}%" for s in schools],
+        ["interested in"] + [f"{stats[s].pct_interested_in:.0f}%" for s in schools],
+        ["birthday"] + [f"{stats[s].pct_birthday:.0f}%" for s in schools],
+        ["average # of photos shared"]
+        + [f"{stats[s].avg_photos:.0f}" for s in schools],
+    ]
+    return ascii_table(
+        ["Attribute"] + schools,
+        rows,
+        title="Table 5: extending the profile for minors registered as adults",
+    )

@@ -1,0 +1,121 @@
+"""Birth-year estimation from friends (Dey et al., the paper's ref [16]).
+
+The base attack estimates a student's birth year as
+``graduation year − 18``.  The same authors' earlier work showed a
+user's age can be estimated from their *friends'* ages, because
+friendship networks are strongly age-assortative.  We implement both
+estimators on attacker-visible data and let the evaluation compare
+them against ground truth:
+
+* **cohort estimator** — birth year = inferred class year − 18;
+* **friend estimator** — the median of the implied birth years of the
+  student's reverse-lookup friends (each friend's implied birth year is
+  their inferred class year − 18; friends with public *registered*
+  birthdays contribute those directly, lies and all — which is exactly
+  the noise the attacker faces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import Dict, List, Mapping, Optional
+
+from repro.worldgen.world import World
+
+from .extension import ASSUMED_GRADUATION_AGE, ExtendedProfile
+
+
+@dataclass(frozen=True)
+class AgeEstimate:
+    """One student's estimated birth year, with provenance."""
+
+    user_id: int
+    cohort_estimate: Optional[int]
+    friend_estimate: Optional[int]
+    friend_evidence: int  # how many friends contributed
+
+    def best(self) -> Optional[int]:
+        """Prefer the cohort estimate; fall back to friends."""
+        return self.cohort_estimate if self.cohort_estimate is not None else self.friend_estimate
+
+
+def estimate_birth_years(
+    extended: Mapping[int, ExtendedProfile]
+) -> Dict[int, AgeEstimate]:
+    """Estimate every dossier's birth year from attacker-visible data."""
+    estimates: Dict[int, AgeEstimate] = {}
+    for uid, profile in extended.items():
+        cohort = (
+            profile.inferred_year - ASSUMED_GRADUATION_AGE
+            if profile.inferred_year is not None
+            else None
+        )
+        implied: List[int] = []
+        for friend_uid in profile.reverse_friends:
+            friend = extended.get(friend_uid)
+            if friend is None:
+                continue
+            if friend.view is not None and friend.view.birthday_year is not None:
+                implied.append(friend.view.birthday_year)
+            elif friend.inferred_year is not None:
+                implied.append(friend.inferred_year - ASSUMED_GRADUATION_AGE)
+        friend_estimate = int(round(median(implied))) if implied else None
+        estimates[uid] = AgeEstimate(
+            user_id=uid,
+            cohort_estimate=cohort,
+            friend_estimate=friend_estimate,
+            friend_evidence=len(implied),
+        )
+    return estimates
+
+
+@dataclass(frozen=True)
+class AgeInferenceEvaluation:
+    """Accuracy of the estimators against ground-truth birth years."""
+
+    evaluated: int
+    cohort_mean_abs_error: float
+    friend_mean_abs_error: float
+    cohort_within_one_year: float
+    friend_within_one_year: float
+
+
+def evaluate_age_inference(
+    estimates: Mapping[int, AgeEstimate],
+    world: World,
+    school_index: int = 0,
+) -> AgeInferenceEvaluation:
+    """Compare both estimators to real birth years (ground truth).
+
+    Only inferred students who are *actual* students are scored — the
+    estimators cannot be meaningfully right about false positives.
+    """
+    truth = world.ground_truth(school_index)
+    students = truth.all_student_uids
+    cohort_errors: List[float] = []
+    friend_errors: List[float] = []
+    for uid, estimate in estimates.items():
+        if uid not in students:
+            continue
+        person_id = world.account_index.person_for(uid)
+        if person_id is None:
+            continue
+        real = int(world.population.person(person_id).birth_year_fraction)
+        if estimate.cohort_estimate is not None:
+            cohort_errors.append(abs(estimate.cohort_estimate - real))
+        if estimate.friend_estimate is not None:
+            friend_errors.append(abs(estimate.friend_estimate - real))
+    if not cohort_errors and not friend_errors:
+        return AgeInferenceEvaluation(0, 0.0, 0.0, 0.0, 0.0)
+
+    def within_one(errors: List[float]) -> float:
+        return sum(1 for e in errors if e <= 1.0) / len(errors) if errors else 0.0
+
+    return AgeInferenceEvaluation(
+        evaluated=max(len(cohort_errors), len(friend_errors)),
+        cohort_mean_abs_error=mean(cohort_errors) if cohort_errors else 0.0,
+        friend_mean_abs_error=mean(friend_errors) if friend_errors else 0.0,
+        cohort_within_one_year=within_one(cohort_errors),
+        friend_within_one_year=within_one(friend_errors),
+    )

@@ -1,0 +1,50 @@
+"""Convenience entry points tying worlds, crawlers and the profiler together.
+
+These helpers are what the examples and benchmarks call: build a world
+from a preset, point a crawl client at its frontend with N fake
+accounts, and run the chosen methodology variant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crawler.accounts import AccountPool
+from repro.crawler.client import CrawlClient
+from repro.crawler.politeness import PolitenessPolicy
+from repro.crawler.storage import CrawlStore
+from repro.worldgen.world import World
+
+from .profiler import AttackResult, HighSchoolProfiler, ProfilerConfig
+
+
+def make_client(
+    world: World,
+    accounts: int = 2,
+    politeness: Optional[PolitenessPolicy] = None,
+) -> CrawlClient:
+    """A crawl client with ``accounts`` fresh fake accounts on this world."""
+    pool = AccountPool.of(world.create_attacker_accounts(accounts))
+    return CrawlClient(world.frontend, pool, politeness)
+
+
+def run_attack(
+    world: World,
+    school_index: int = 0,
+    accounts: int = 2,
+    config: Optional[ProfilerConfig] = None,
+    politeness: Optional[PolitenessPolicy] = None,
+    store: Optional[CrawlStore] = None,
+    client: Optional[CrawlClient] = None,
+) -> AttackResult:
+    """Run the profiling methodology against one school of a world.
+
+    Uses the school's true OSN id and a fresh client unless one is
+    supplied.  Everything the attack sees flows through the HTML
+    frontend; ground truth stays untouched.
+    """
+    if client is None:
+        client = make_client(world, accounts, politeness)
+    school_id = world.school(school_index).school_id
+    profiler = HighSchoolProfiler(client, school_id, config, store)
+    return profiler.run()

@@ -1,0 +1,204 @@
+"""The without-COPPA analysis (paper, Section 7).
+
+Two questions: in a world with no age ban (so nobody lies), (a) can a
+third party still recover the student body, and (b) can it still build
+rich profiles?  The paper answers with a "natural approach" heuristic —
+start from *recent graduates* (young adults), collect their friends,
+keep the minimal-profile ones, and require at least n friends in the
+core — and an apples-to-apples comparison on minimal-profile students.
+
+We implement:
+
+* :func:`run_natural_approach` — the Section 7.1 heuristic, driven
+  through the crawl client like every other attack;
+* :func:`with_coppa_minimal_points` / :func:`natural_approach_points` —
+  the two Figure-3 series (false positives, log scale, vs. percentage
+  of minimal-profile ground-truth students found);
+* a direct counterfactual: run the heuristic inside an actual
+  without-COPPA world (``WorldConfig.without_coppa()``), something the
+  paper's authors could only approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.crawler.client import CrawlClient
+from repro.crawler.effort import EffortReport
+from repro.osn.view import ProfileView
+
+from .coreset import extract_claims
+from .profiler import AttackResult
+from .scoring import reverse_lookup_index
+
+
+@dataclass
+class NaturalApproachResult:
+    """Output of the Section-7.1 heuristic."""
+
+    school_id: int
+    #: recent-graduate core: uid -> listed graduation year
+    core: Dict[int, int]
+    candidates: Set[int]
+    #: candidates whose public profile is minimal (step 3's filter)
+    minimal_candidates: Set[int]
+    #: candidate -> number of distinct core users whose lists contain it
+    core_friend_counts: Dict[int, int]
+    effort: EffortReport
+
+    def select(self, n: int) -> Set[int]:
+        """H: minimal-profile candidates with at least ``n`` core friends."""
+        if n < 1:
+            raise ValueError("n must be at least 1")
+        return {
+            uid
+            for uid in self.minimal_candidates
+            if self.core_friend_counts.get(uid, 0) >= n
+        }
+
+
+def run_natural_approach(
+    client: CrawlClient,
+    school_id: int,
+    graduate_years: Sequence[int],
+    max_candidate_profiles: Optional[int] = None,
+) -> NaturalApproachResult:
+    """The without-COPPA heuristic (Section 7.1, steps 1–4).
+
+    1. search for users listing the target school with a graduation
+       year in ``graduate_years`` (recent alumni / graduating adults);
+       keep those with public friend lists as the core;
+    2. union their friend lists into a candidate set;
+    3. fetch candidate profiles, keep the minimal-profile ones;
+    4. (selection by ``n`` happens in :meth:`NaturalApproachResult.select`).
+    """
+    wanted = set(graduate_years)
+    seeds = client.collect_seeds(school_id)
+
+    core: Dict[int, int] = {}
+    friend_lists: Dict[int, List[int]] = {}
+    for uid in seeds:
+        view = client.fetch_profile(uid)
+        if view is None:
+            continue
+        affiliation = next(
+            (a for a in view.high_schools if a.school_id == school_id), None
+        )
+        if affiliation is None or affiliation.graduation_year not in wanted:
+            continue
+        friends = client.fetch_friend_list(uid)
+        if friends is None:
+            continue
+        core[uid] = affiliation.graduation_year
+        friend_lists[uid] = [e.user_id for e in friends]
+
+    index = reverse_lookup_index(friend_lists)
+    candidates = set(index) - set(core)
+
+    minimal: Set[int] = set()
+    to_fetch = sorted(candidates)
+    if max_candidate_profiles is not None:
+        to_fetch = to_fetch[:max_candidate_profiles]
+    for uid in to_fetch:
+        view = client.fetch_profile(uid)
+        if view is not None and view.is_minimal():
+            minimal.add(uid)
+
+    return NaturalApproachResult(
+        school_id=school_id,
+        core=core,
+        candidates=candidates,
+        minimal_candidates=minimal,
+        core_friend_counts={uid: len(owners) for uid, owners in index.items()},
+        effort=client.effort_report(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3: apples-to-apples comparison on minimal-profile students
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CoveragePoint:
+    """One point of a Figure-3 series."""
+
+    label: str
+    found: int
+    found_percent: float
+    false_positives: int
+
+
+def natural_approach_points(
+    result: NaturalApproachResult,
+    minimal_truth: Set[int],
+    ns: Sequence[int] = (1, 2, 3),
+) -> List[CoveragePoint]:
+    """Without-COPPA series: one point per core-friend threshold n."""
+    if not minimal_truth:
+        raise ValueError("minimal-profile ground truth is empty")
+    points = []
+    for n in ns:
+        selected = result.select(n)
+        found = len(selected & minimal_truth)
+        points.append(
+            CoveragePoint(
+                label=f"n={n}",
+                found=found,
+                found_percent=100.0 * found / len(minimal_truth),
+                false_positives=len(selected) - found,
+            )
+        )
+    return points
+
+
+def with_coppa_minimal_points(
+    result: AttackResult,
+    minimal_truth: Set[int],
+    thresholds: Sequence[int] = (300, 400, 500),
+) -> List[CoveragePoint]:
+    """With-COPPA series (Section 7.2): minimal-profile users in the top-t.
+
+    M_t is the set of top-t users (plus C′) whose crawled profile is
+    minimal; z_t of them are true minimal-profile students.  Requires an
+    attack run whose profile-fetch budget covered the largest t (the
+    enhanced methodology with ε = 1 does for t up to the nominal
+    threshold).
+    """
+    if not minimal_truth:
+        raise ValueError("minimal-profile ground truth is empty")
+    points = []
+    for t in thresholds:
+        selection = result.select(t)
+        m_t = {
+            uid
+            for uid in selection
+            if (view := result.profiles.get(uid)) is not None and view.is_minimal()
+        }
+        found = len(m_t & minimal_truth)
+        points.append(
+            CoveragePoint(
+                label=f"t={t}",
+                found=found,
+                found_percent=100.0 * found / len(minimal_truth),
+                false_positives=len(m_t) - found,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class ProfileRichnessComparison:
+    """Section 7.3: what a profile can contain in each world.
+
+    With COPPA the attacker gets class year, school friends and (for
+    adult-registered minors) much more; without COPPA only a
+    low-confidence school guess on top of the minimal profile.
+    """
+
+    with_coppa_has_year: bool = True
+    with_coppa_has_friends: bool = True
+    with_coppa_messageable_fraction: float = 0.0
+    without_coppa_has_year: bool = False
+    without_coppa_has_friends: bool = False
+    without_coppa_messageable_fraction: float = 0.0

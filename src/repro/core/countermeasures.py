@@ -1,0 +1,200 @@
+"""Countermeasure evaluation (paper, Section 8 — and beyond).
+
+The paper evaluates one defence, disabling reverse lookup: if a user's
+friend list is hidden from a viewer, that user is also omitted from
+*other people's* friend lists as shown to that viewer.  Registered
+minors then vanish from reverse lookup entirely, gutting the attack
+(top-500 coverage falls 92% → 33% for HS1).
+
+The paper also notes that "designing and evaluating all combinations of
+possible laws and measures is a major research problem on its own."
+:func:`run_countermeasure_suite` takes a first step: it evaluates a
+small portfolio of site- and law-side defences under identical attack
+conditions —
+
+* ``baseline`` — 2012 Facebook as documented;
+* ``no_reverse_lookup`` — the paper's Section-8 defence;
+* ``age_verification`` — a law-side fix: ages are verified, so nobody
+  is mis-registered (the ban stays; truthful under-13s simply wait);
+* ``tiny_search_cap`` — the site throttles people search hard, shrinking
+  every seed set;
+* ``no_school_search`` — the site stops returning *anyone* for school
+  searches (search_result_cap 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from dataclasses import replace as dataclasses_replace
+
+from repro.worldgen.config import WorldConfig
+from repro.worldgen.world import World, build_world
+
+from .api import make_client, run_attack
+from .evaluation import FullEvaluation, evaluate_full
+from .profiler import AttackResult, ProfilerConfig
+
+
+@dataclass(frozen=True)
+class CountermeasurePoint:
+    """Coverage with and without reverse lookup at one threshold."""
+
+    threshold: int
+    found_percent_with: float
+    found_percent_without: float
+
+    @property
+    def reduction(self) -> float:
+        return self.found_percent_with - self.found_percent_without
+
+
+@dataclass
+class CountermeasureReport:
+    """The Figure-4 comparison."""
+
+    with_lookup: AttackResult
+    without_lookup: AttackResult
+    points: List[CountermeasurePoint]
+
+    def max_reduction(self) -> float:
+        return max((p.reduction for p in self.points), default=0.0)
+
+
+def run_countermeasure_comparison(
+    world: World,
+    school_index: int = 0,
+    accounts: int = 2,
+    config: Optional[ProfilerConfig] = None,
+    thresholds: Sequence[int] = (200, 250, 300, 350, 400, 450, 500),
+) -> CountermeasureReport:
+    """Run the attack twice, toggling the reverse-lookup defence.
+
+    The social graph is identical in both runs; only the friend-list
+    rendering changes, exactly as a site-side deployment would behave.
+    """
+    config = config or ProfilerConfig(enhanced=True, filtering=True)
+    truth = world.ground_truth(school_index)
+
+    original_flag = world.network.reverse_lookup_enabled
+    try:
+        world.network.reverse_lookup_enabled = True
+        result_with = run_attack(
+            world, school_index, accounts=accounts, config=config
+        )
+        world.network.reverse_lookup_enabled = False
+        result_without = run_attack(
+            world, school_index, accounts=accounts, config=config
+        )
+    finally:
+        world.network.reverse_lookup_enabled = original_flag
+
+    points = []
+    for t in thresholds:
+        eval_with = evaluate_full(result_with, truth, t)
+        eval_without = evaluate_full(result_without, truth, t)
+        points.append(
+            CountermeasurePoint(
+                threshold=t,
+                found_percent_with=100.0 * eval_with.found_fraction,
+                found_percent_without=100.0 * eval_without.found_fraction,
+            )
+        )
+    return CountermeasureReport(
+        with_lookup=result_with,
+        without_lookup=result_without,
+        points=points,
+    )
+
+
+# ----------------------------------------------------------------------
+# The broader defence portfolio
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DefenceOutcome:
+    """Attack performance under one defence."""
+
+    name: str
+    found: int
+    found_percent: float
+    false_positives: int
+    core_size: int
+    seeds: int
+
+
+def _evaluate_world(
+    world: World, config: ProfilerConfig, t: int, accounts: int, name: str
+) -> DefenceOutcome:
+    result = run_attack(world, accounts=accounts, config=config)
+    truth = world.ground_truth()
+    evaluation = evaluate_full(result, truth, t)
+    return DefenceOutcome(
+        name=name,
+        found=evaluation.found,
+        found_percent=100.0 * evaluation.found_fraction,
+        false_positives=evaluation.false_positives,
+        core_size=result.extended_core_size,
+        seeds=len(result.seeds),
+    )
+
+
+def run_countermeasure_suite(
+    world_config: WorldConfig,
+    accounts: int = 2,
+    config: Optional[ProfilerConfig] = None,
+    t: Optional[int] = None,
+    throttled_search_cap: int = 20,
+) -> List[DefenceOutcome]:
+    """Evaluate the defence portfolio under identical attack conditions.
+
+    Each defence gets a fresh world from the same config/seed (so the
+    populations are statistically identical) with the defence applied,
+    and the same methodology/threshold is run against it.
+    ``throttled_search_cap`` sizes the "tiny_search_cap" defence; its
+    effectiveness depends sharply on cap relative to school size.
+    """
+    config = config or ProfilerConfig(enhanced=True, filtering=True)
+    t = t or config.threshold or world_config.schools[0].enrollment
+    outcomes: List[DefenceOutcome] = []
+
+    base_world = build_world(world_config)
+    outcomes.append(_evaluate_world(base_world, config, t, accounts, "baseline"))
+
+    rl_world = build_world(world_config)
+    rl_world.network.reverse_lookup_enabled = False
+    outcomes.append(
+        _evaluate_world(rl_world, config, t, accounts, "no_reverse_lookup")
+    )
+
+    verified_world = build_world(
+        dataclasses_replace(
+            world_config,
+            lying=dataclasses_replace(world_config.lying, p_lie_if_under_13=0.0),
+        )
+    )
+    outcomes.append(
+        _evaluate_world(verified_world, config, t, accounts, "age_verification")
+    )
+
+    capped_config = dataclasses_replace(
+        world_config,
+        osn=dataclasses_replace(
+            world_config.osn, search_result_cap=throttled_search_cap
+        ),
+    )
+    outcomes.append(
+        _evaluate_world(build_world(capped_config), config, t, accounts, "tiny_search_cap")
+    )
+
+    blocked_config = dataclasses_replace(
+        world_config,
+        osn=dataclasses_replace(world_config.osn, search_result_cap=0),
+    )
+    outcomes.append(
+        _evaluate_world(
+            build_world(blocked_config), config, t, accounts, "no_school_search"
+        )
+    )
+    return outcomes

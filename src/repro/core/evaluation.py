@@ -1,0 +1,201 @@
+"""Evaluating attack results (paper, Sections 4.2, 5.4 and 5.5).
+
+Two evaluation regimes, matching the paper:
+
+* **Full ground truth** (HS1): the evaluator holds the complete student
+  list by class year, so coverage |H ∩ M|/|M|, false positives |H − M|
+  and year accuracy are exact.
+* **Partial ground truth** (HS2/HS3): a *second*, disjoint seed crawl
+  yields test users; the fraction of test users recovered in the top-t
+  estimates coverage and false positives through the Section-5.5
+  estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.crawler.client import CrawlClient
+from repro.osn.clock import school_class_year
+from repro.worldgen.world import SchoolGroundTruth
+
+from .coreset import extract_claims
+from .profiler import AttackResult
+
+
+# ----------------------------------------------------------------------
+# Full ground truth (HS1 regime)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FullEvaluation:
+    """Exact performance numbers for one threshold t."""
+
+    threshold: int
+    selected: int               # |H| = |C'| + t
+    found: int                  # |H ∩ M|
+    correct_year: int           # of the found, classified in the right year
+    false_positives: int        # |H - M|
+    students_on_osn: int        # |M|
+
+    @property
+    def found_fraction(self) -> float:
+        return self.found / self.students_on_osn if self.students_on_osn else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        return self.false_positives / self.selected if self.selected else 0.0
+
+    @property
+    def year_accuracy(self) -> float:
+        return self.correct_year / self.found if self.found else 0.0
+
+    @property
+    def found_over_correct(self) -> str:
+        """Table 4's ``x/y`` cell notation."""
+        return f"{self.found}/{self.correct_year}"
+
+
+def evaluate_full(
+    result: AttackResult,
+    truth: SchoolGroundTruth,
+    t: Optional[int] = None,
+) -> FullEvaluation:
+    """Score one selection against complete ground truth."""
+    t = result.threshold if t is None else t
+    selection = result.select(t)
+    students = truth.all_student_uids
+    found = 0
+    correct = 0
+    for uid, year in selection.items():
+        true_year = truth.year_of_uid(uid)
+        if true_year is None:
+            continue
+        found += 1
+        if year == true_year:
+            correct += 1
+    return FullEvaluation(
+        threshold=t,
+        selected=len(selection),
+        found=found,
+        correct_year=correct,
+        false_positives=len(selection) - found,
+        students_on_osn=truth.on_osn_count,
+    )
+
+
+def sweep_full(
+    result: AttackResult,
+    truth: SchoolGroundTruth,
+    thresholds: Sequence[int],
+) -> List[FullEvaluation]:
+    """Evaluate one crawl at several thresholds (Figure 1's sweep)."""
+    return [evaluate_full(result, truth, t) for t in thresholds]
+
+
+# ----------------------------------------------------------------------
+# Partial ground truth (HS2/HS3 regime, Section 5.5)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PartialEvaluation:
+    """Estimator outputs for one threshold t."""
+
+    threshold: int
+    test_users: int
+    test_found: int                  # z_t
+    estimated_students_found: float
+    estimated_found_fraction: float
+    estimated_false_positives: float
+    estimated_false_positive_rate: float
+    test_year_accuracy: float
+
+    @property
+    def found_percent(self) -> float:
+        return 100.0 * self.estimated_found_fraction
+
+    @property
+    def false_positive_percent(self) -> float:
+        return 100.0 * self.estimated_false_positive_rate
+
+
+def collect_test_users(
+    client: CrawlClient,
+    school_id: int,
+    exclude: Iterable[int],
+    current_year: Optional[int] = None,
+) -> Dict[int, int]:
+    """Gather the disjoint test-user set with a *second* account pool.
+
+    Crawls a second seed set, keeps the users who claim current
+    enrolment at the target school and are not in ``exclude`` (the
+    first crawl's seeds).  Returns uid -> claimed class year.
+    """
+    if current_year is None:
+        current_year = school_class_year(client.frontend.network.clock.now_year)
+    excluded = set(exclude)
+    seeds = client.collect_seeds(school_id)
+    fresh = {uid: name for uid, name in seeds.items() if uid not in excluded}
+    profiles = {}
+    for uid in fresh:
+        view = client.fetch_profile(uid)
+        if view is not None:
+            profiles[uid] = view
+    return extract_claims(profiles, school_id, current_year)
+
+
+def evaluate_partial(
+    result: AttackResult,
+    test_users: Dict[int, int],
+    school_size: int,
+    t: Optional[int] = None,
+) -> PartialEvaluation:
+    """The Section-5.5 estimator from limited ground truth.
+
+    With z_t test users recovered among the top-t, the estimated number
+    of students found is
+
+        core + (z_t / #test) * (school_size - core)
+
+    and the estimated false positives are t minus the non-core students
+    found.  ``core`` is the (extended, for the enhanced methodology)
+    core-user count, since core users are students by construction.
+    """
+    if not test_users:
+        raise ValueError("cannot evaluate with an empty test-user set")
+    t = result.threshold if t is None else t
+    selection = result.select(t)
+    core_count = result.extended_core_size
+    z = sum(1 for uid in test_users if uid in selection)
+    correct = sum(
+        1 for uid, year in test_users.items() if selection.get(uid) == year
+    )
+    fraction = z / len(test_users)
+    non_core = max(school_size - core_count, 0)
+    est_found = core_count + fraction * non_core
+    est_fp = t - fraction * non_core
+    return PartialEvaluation(
+        threshold=t,
+        test_users=len(test_users),
+        test_found=z,
+        estimated_students_found=est_found,
+        estimated_found_fraction=est_found / school_size if school_size else 0.0,
+        estimated_false_positives=max(est_fp, 0.0),
+        estimated_false_positive_rate=(
+            max(est_fp, 0.0) / (core_count + t) if (core_count + t) else 0.0
+        ),
+        test_year_accuracy=(correct / z) if z else 0.0,
+    )
+
+
+def sweep_partial(
+    result: AttackResult,
+    test_users: Dict[int, int],
+    school_size: int,
+    thresholds: Sequence[int],
+) -> List[PartialEvaluation]:
+    """Estimator sweep over thresholds (Figure 2's series)."""
+    return [
+        evaluate_partial(result, test_users, school_size, t) for t in thresholds
+    ]

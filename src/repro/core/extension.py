@@ -1,0 +1,206 @@
+"""Profile extension (paper, Section 6).
+
+Once H is inferred, the third party enriches every student's profile far
+beyond what Facebook displays for a registered minor:
+
+* **inferred attributes** — current school, class year, current city
+  (from the school), estimated birth year (from the class year);
+* **reverse-lookup friends** — a student's school friends recovered
+  from the *other* students' public friend lists, even when the
+  student's own list (or whole profile) is hidden;
+* **directly harvested attributes** for minors registered as adults —
+  full friend lists, photos, relationship info, the Message link
+  (Table 5).
+
+``build_extended_profiles`` performs the extra crawling; ``table5_stats``
+aggregates the Table-5 rows over the inferred adult-registered minors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.crawler.client import CrawlClient
+from repro.osn.profile import Gender
+from repro.osn.view import ProfileView
+
+from .profiler import AttackResult
+
+#: Estimated age at high-school graduation, used to infer birth year.
+ASSUMED_GRADUATION_AGE = 18
+
+
+@dataclass
+class ExtendedProfile:
+    """The dossier the third party assembles for one inferred student."""
+
+    user_id: int
+    name: str
+    gender: Optional[Gender]
+    school_name: str
+    inferred_year: Optional[int]
+    inferred_city: str
+    inferred_birth_year: Optional[int]
+    appears_registered_adult: bool
+    view: Optional[ProfileView]
+    reverse_friends: Set[int] = field(default_factory=set)
+    direct_friends: Optional[List[int]] = None
+
+    @property
+    def friend_count_known(self) -> int:
+        """How many of the student's friends the attacker recovered."""
+        if self.direct_friends is not None:
+            return len(self.direct_friends)
+        return len(self.reverse_friends)
+
+    @property
+    def school_friend_count(self) -> int:
+        return len(self.reverse_friends)
+
+
+def infer_birth_year(graduation_year: Optional[int]) -> Optional[int]:
+    """Estimate birth year from class year (graduate at ~18)."""
+    if graduation_year is None:
+        return None
+    return graduation_year - ASSUMED_GRADUATION_AGE
+
+
+def build_extended_profiles(
+    result: AttackResult,
+    client: CrawlClient,
+    t: Optional[int] = None,
+) -> Dict[int, ExtendedProfile]:
+    """Section 6's extension crawl over the inferred student set H.
+
+    Fetches any missing profiles, downloads the friend lists of every H
+    member whose list is public, and computes reverse-lookup friend sets
+    for everyone — including registered minors whose own pages show
+    nothing but name/photo/gender.
+    """
+    selection = result.select(t)
+    profiles: Dict[int, ProfileView] = dict(result.profiles)
+    for uid in selection:
+        if uid not in profiles:
+            view = client.fetch_profile(uid)
+            if view is not None:
+                profiles[uid] = view
+
+    friend_lists: Dict[int, List[int]] = {
+        uid: list(friends)
+        for uid, friends in result.core.friend_lists.items()
+        if uid in selection
+    }
+    for uid in selection:
+        if uid in friend_lists:
+            continue
+        view = profiles.get(uid)
+        if view is not None and view.friend_list_visible:
+            entries = client.fetch_friend_list(uid)
+            if entries is not None:
+                friend_lists[uid] = [e.user_id for e in entries]
+
+    members = set(selection)
+    reverse: Dict[int, Set[int]] = {uid: set() for uid in members}
+    for owner, friends in friend_lists.items():
+        for friend in friends:
+            if friend in reverse and friend != owner:
+                reverse[friend].add(owner)
+        # The owner's own in-school friends are also known directly.
+        reverse.setdefault(owner, set()).update(f for f in friends if f in members)
+
+    extended: Dict[int, ExtendedProfile] = {}
+    for uid, year in selection.items():
+        view = profiles.get(uid)
+        extended[uid] = ExtendedProfile(
+            user_id=uid,
+            name=view.name if view else result.seeds.get(uid, f"user {uid}"),
+            gender=view.gender if view else None,
+            school_name=result.school.name,
+            inferred_year=year,
+            inferred_city=result.school.city,
+            inferred_birth_year=infer_birth_year(year),
+            appears_registered_adult=bool(view and not view.is_minimal()),
+            view=view,
+            reverse_friends=reverse.get(uid, set()),
+            direct_friends=friend_lists.get(uid),
+        )
+    return extended
+
+
+# ----------------------------------------------------------------------
+# Table 5: aggregate what is exposed by minors registered as adults
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AdultRegisteredStats:
+    """One column of Table 5 (plus the reverse-lookup friend average)."""
+
+    count: int
+    pct_friend_list_public: float
+    avg_friends_when_public: float
+    pct_public_search: float
+    pct_message_link: float
+    pct_relationship: float
+    pct_interested_in: float
+    pct_birthday: float
+    avg_photos: float
+
+
+def table5_stats(
+    extended: Mapping[int, ExtendedProfile],
+    class_years: Sequence[int],
+) -> AdultRegisteredStats:
+    """Aggregate Table-5 attributes over inferred adult-registered students.
+
+    Following the paper, only students classified into the given class
+    years (the first three school years) are counted, since fourth-year
+    students may genuinely be adults.
+    """
+    years = set(class_years)
+    cohort = [
+        p
+        for p in extended.values()
+        if p.appears_registered_adult and p.inferred_year in years and p.view is not None
+    ]
+    if not cohort:
+        return AdultRegisteredStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def pct(predicate) -> float:
+        return 100.0 * sum(1 for p in cohort if predicate(p)) / len(cohort)
+
+    public_list_sizes = [
+        len(p.direct_friends) for p in cohort if p.direct_friends is not None
+    ]
+    return AdultRegisteredStats(
+        count=len(cohort),
+        pct_friend_list_public=pct(lambda p: p.view.friend_list_visible),
+        avg_friends_when_public=mean(public_list_sizes) if public_list_sizes else 0.0,
+        pct_public_search=pct(lambda p: p.view.public_search_listed),
+        pct_message_link=pct(lambda p: p.view.message_button),
+        pct_relationship=pct(lambda p: p.view.relationship_status is not None),
+        pct_interested_in=pct(lambda p: p.view.interested_in is not None),
+        pct_birthday=pct(lambda p: p.view.birthday_year is not None),
+        avg_photos=mean(p.view.photo_count or 0 for p in cohort),
+    )
+
+
+def registered_minor_friend_average(
+    extended: Mapping[int, ExtendedProfile],
+    class_years: Sequence[int],
+) -> Tuple[int, float]:
+    """(count, mean reverse-lookup friends) over inferred registered minors.
+
+    The paper reports 38/141/129 reverse-lookup friends per registered
+    minor for HS1/HS2/HS3 (Section 6.1).
+    """
+    years = set(class_years)
+    minors = [
+        p
+        for p in extended.values()
+        if not p.appears_registered_adult and p.inferred_year in years
+    ]
+    if not minors:
+        return 0, 0.0
+    return len(minors), mean(len(p.reverse_friends) for p in minors)

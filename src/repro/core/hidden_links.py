@@ -1,0 +1,122 @@
+"""Hidden-friendship inference via the Jaccard index (paper, Section 6.1).
+
+Reverse lookup never reveals a friendship between two registered
+minors — neither friend list is visible.  But if Alice and Bob share
+many reverse-lookup friends, they are very likely friends themselves.
+The paper proposes scoring candidate pairs with
+
+    J(A, B) = |F_A ∩ F_B| / |F_A ∪ F_B|
+
+over the reverse-lookup friend sets, and declaring a hidden link when
+J is high.  We implement the inference plus a precision/recall
+evaluation against world ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
+
+
+def jaccard_index(a: Set[int], b: Set[int]) -> float:
+    """|a ∩ b| / |a ∪ b| (0 for two empty sets)."""
+    if not a and not b:
+        return 0.0
+    intersection = len(a & b)
+    if intersection == 0:
+        return 0.0
+    return intersection / (len(a) + len(b) - intersection)
+
+
+@dataclass(frozen=True)
+class InferredLink:
+    """A predicted hidden friendship with its evidence."""
+
+    pair: Tuple[int, int]
+    jaccard: float
+    common_friends: int
+
+
+def infer_hidden_links(
+    reverse_friends: Mapping[int, Set[int]],
+    threshold: float = 0.2,
+    min_common: int = 2,
+) -> List[InferredLink]:
+    """Predict hidden friendships among users with reverse-lookup sets.
+
+    Pairs sharing at least ``min_common`` reverse-lookup friends and a
+    Jaccard index of at least ``threshold`` are declared friends.  An
+    inverted index over common friends keeps this near-linear in the
+    number of co-occurrences rather than quadratic in users.
+    """
+    by_friend: Dict[int, List[int]] = {}
+    for uid, friends in reverse_friends.items():
+        for friend in friends:
+            by_friend.setdefault(friend, []).append(uid)
+
+    common_counts: Dict[Tuple[int, int], int] = {}
+    for users in by_friend.values():
+        if len(users) < 2:
+            continue
+        users_sorted = sorted(users)
+        for a, b in combinations(users_sorted, 2):
+            key = (a, b)
+            common_counts[key] = common_counts.get(key, 0) + 1
+
+    links: List[InferredLink] = []
+    for (a, b), common in common_counts.items():
+        if common < min_common:
+            continue
+        j = jaccard_index(reverse_friends[a], reverse_friends[b])
+        if j >= threshold:
+            links.append(InferredLink(pair=(a, b), jaccard=j, common_friends=common))
+    links.sort(key=lambda l: (-l.jaccard, -l.common_friends, l.pair))
+    return links
+
+
+@dataclass(frozen=True)
+class LinkInferenceEvaluation:
+    """Precision/recall of hidden-link inference against ground truth."""
+
+    predicted: int
+    true_positives: int
+    hidden_true_links: int
+
+    @property
+    def precision(self) -> float:
+        return self.true_positives / self.predicted if self.predicted else 0.0
+
+    @property
+    def recall(self) -> float:
+        return (
+            self.true_positives / self.hidden_true_links
+            if self.hidden_true_links
+            else 0.0
+        )
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def evaluate_link_inference(
+    links: Iterable[InferredLink],
+    are_friends: Callable[[int, int], bool],
+    hidden_pairs: Iterable[Tuple[int, int]],
+) -> LinkInferenceEvaluation:
+    """Score predictions against the true graph.
+
+    ``hidden_pairs`` is the set of *actually existing* friendships that
+    reverse lookup could not see (e.g. minor–minor edges among inferred
+    students); recall is measured against it.
+    """
+    predictions = [l.pair for l in links]
+    true_positives = sum(1 for a, b in predictions if are_friends(a, b))
+    hidden = {tuple(sorted(p)) for p in hidden_pairs}
+    return LinkInferenceEvaluation(
+        predicted=len(predictions),
+        true_positives=true_positives,
+        hidden_true_links=len(hidden),
+    )

@@ -1,0 +1,188 @@
+"""Data-broker linkage: pin students to street addresses (paper, Section 2).
+
+Given the extended high-school profiles and a purchased voter registry,
+the broker matches each student's *last name + inferred city* against
+registered voters to obtain candidate home addresses.  When one of the
+student's recovered friends shares the student's surname and matches a
+voter record — almost certainly a parent on the friend list — the
+association is high-confidence: "if a parent appears in the friend
+list, then the street-address association can be done with greater
+certainty."
+
+Everything here uses only attacker-visible data: names from crawled
+pages and the public registry.  The evaluation helper (which *does*
+look at ground truth) lives at the bottom, clearly separated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.worldgen.records import VoterRegistry
+from repro.worldgen.world import World
+
+from .extension import ExtendedProfile
+
+
+class Confidence(enum.Enum):
+    HIGH = "high"      # a same-surname friend (likely parent) matched
+    MEDIUM = "medium"  # surname+city matched a unique household
+    LOW = "low"        # surname+city matched several households
+
+
+@dataclass(frozen=True)
+class AddressCandidate:
+    """One possible home address for a student."""
+
+    street_address: str
+    city: str
+    confidence: Confidence
+    matched_voters: int
+    via_friend: Optional[str] = None  # the (likely parent) friend's name
+
+
+def _surname(full_name: str) -> str:
+    return full_name.rsplit(" ", 1)[-1]
+
+
+def link_home_addresses(
+    extended: Mapping[int, ExtendedProfile],
+    registry: VoterRegistry,
+    friend_name_of: Optional[Callable[[int], Optional[str]]] = None,
+) -> Dict[int, List[AddressCandidate]]:
+    """Match every extended profile against the voter file.
+
+    ``friend_name_of`` resolves a friend uid to a display name (e.g.
+    from crawled pages); without it only the surname+city channel runs.
+    Returns uid -> candidates ordered best first.
+    """
+    linked: Dict[int, List[AddressCandidate]] = {}
+    for uid, profile in extended.items():
+        surname = _surname(profile.name)
+        city = profile.inferred_city
+        candidates: List[AddressCandidate] = []
+
+        # High-confidence channel: a same-surname friend in the voter file.
+        if friend_name_of is not None:
+            friend_ids = (
+                profile.direct_friends
+                if profile.direct_friends is not None
+                else sorted(profile.reverse_friends)
+            )
+            for friend_uid in friend_ids:
+                friend_name = friend_name_of(friend_uid)
+                if friend_name is None:
+                    continue
+                if _surname(friend_name).lower() != surname.lower():
+                    continue
+                record = registry.lookup_person(
+                    friend_name.split(" ", 1)[0], surname, city
+                )
+                if record is not None:
+                    candidates.append(
+                        AddressCandidate(
+                            street_address=record.street_address,
+                            city=record.city,
+                            confidence=Confidence.HIGH,
+                            matched_voters=1,
+                            via_friend=friend_name,
+                        )
+                    )
+
+        # Fallback channel: every same-surname household in the city.
+        if not candidates:
+            records = registry.lookup(surname, city)
+            addresses = sorted({r.street_address for r in records})
+            confidence = Confidence.MEDIUM if len(addresses) == 1 else Confidence.LOW
+            candidates.extend(
+                AddressCandidate(
+                    street_address=address,
+                    city=city,
+                    confidence=confidence,
+                    matched_voters=len(records),
+                )
+                for address in addresses
+            )
+
+        if candidates:
+            linked[uid] = candidates
+    return linked
+
+
+# ----------------------------------------------------------------------
+# Evaluation (uses ground truth; never available to the broker)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LinkageEvaluation:
+    """How often the broker's best candidate is the true home address."""
+
+    students_with_known_address: int
+    linked: int
+    correct_best: int
+    high_confidence: int
+    high_confidence_correct: int
+
+    @property
+    def precision_of_best(self) -> float:
+        return self.correct_best / self.linked if self.linked else 0.0
+
+    @property
+    def high_confidence_precision(self) -> float:
+        return (
+            self.high_confidence_correct / self.high_confidence
+            if self.high_confidence
+            else 0.0
+        )
+
+    @property
+    def coverage(self) -> float:
+        return (
+            self.linked / self.students_with_known_address
+            if self.students_with_known_address
+            else 0.0
+        )
+
+
+def evaluate_linkage(
+    linked: Mapping[int, List[AddressCandidate]],
+    world: World,
+    school_index: int = 0,
+) -> LinkageEvaluation:
+    """Score address links against the ground-truth households."""
+    truth = world.ground_truth(school_index)
+    true_address: Dict[int, str] = {}
+    for uid in truth.all_student_uids:
+        person_id = world.account_index.person_for(uid)
+        if person_id is None:
+            continue
+        person = world.population.person(person_id)
+        if person.street_address is not None:
+            true_address[uid] = person.street_address
+
+    linked_known = {
+        uid: candidates for uid, candidates in linked.items() if uid in true_address
+    }
+    correct_best = sum(
+        1
+        for uid, candidates in linked_known.items()
+        if candidates and candidates[0].street_address == true_address[uid]
+    )
+    high = [
+        (uid, c)
+        for uid, candidates in linked_known.items()
+        for c in candidates
+        if c.confidence is Confidence.HIGH
+    ]
+    high_correct = sum(
+        1 for uid, c in high if c.street_address == true_address[uid]
+    )
+    return LinkageEvaluation(
+        students_with_known_address=len(true_address),
+        linked=len(linked_known),
+        correct_best=correct_best,
+        high_confidence=len(high),
+        high_confidence_correct=high_correct,
+    )

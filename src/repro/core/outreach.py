@@ -1,0 +1,111 @@
+"""Contact-vector assessment: the spear-phishing threat (paper, Section 2).
+
+"The profiles could also be used to fuel large-scale and highly
+personalized spear-phishing attacks against minors.  Messages could
+automatically be generated which mention the target students' high
+schools, graduation years, and friends."
+
+This module quantifies that capability on the inferred student set —
+who is *directly messageable* by a stranger (minors registered as
+adults), who is reachable only by friend request (everyone) — and can
+run a simulated campaign through the crawl client so the OSN's policy
+is exercised end to end.  The generated text is a neutral placeholder:
+we measure reachability, we do not craft lures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.crawler.client import CrawlClient
+
+from .extension import ExtendedProfile
+
+
+def compose_personalized_message(
+    profile: ExtendedProfile, friend_names: List[str]
+) -> str:
+    """A placeholder message carrying the personalization *signals*.
+
+    What makes the paper's scenario dangerous is not the copywriting but
+    that a stranger can reference the school, class year and real
+    friends; we include exactly those signals and nothing manipulative.
+    """
+    friends = ", ".join(friend_names[:2]) if friend_names else "your classmates"
+    year = profile.inferred_year if profile.inferred_year is not None else "soon"
+    return (
+        f"[simulated personalized message] Hi {profile.name.split(' ')[0]} - "
+        f"about {profile.school_name}, class of {year}; "
+        f"mutual context: {friends}."
+    )
+
+
+@dataclass
+class OutreachReport:
+    """How contactable the inferred student body is."""
+
+    targets: int = 0
+    directly_messageable: int = 0
+    messages_delivered: int = 0
+    message_failures: int = 0
+    friend_requests_sent: int = 0
+    per_year: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def messageable_fraction(self) -> float:
+        return self.directly_messageable / self.targets if self.targets else 0.0
+
+    def record(self, year: Optional[int], messageable: bool) -> None:
+        self.targets += 1
+        if messageable:
+            self.directly_messageable += 1
+        if year is not None:
+            total, ok = self.per_year.get(year, (0, 0))
+            self.per_year[year] = (total + 1, ok + (1 if messageable else 0))
+
+
+def assess_contactability(
+    extended: Mapping[int, ExtendedProfile]
+) -> OutreachReport:
+    """Count who a stranger could message, from crawled views alone."""
+    report = OutreachReport()
+    for profile in extended.values():
+        messageable = bool(profile.view and profile.view.message_button)
+        report.record(profile.inferred_year, messageable)
+    return report
+
+
+def run_outreach_campaign(
+    extended: Mapping[int, ExtendedProfile],
+    client: CrawlClient,
+    name_of: Optional[Mapping[int, str]] = None,
+    send_messages: bool = True,
+    send_friend_requests: bool = False,
+) -> OutreachReport:
+    """Actually exercise the contact surfaces through the frontend.
+
+    Message sends are attempted only where the crawled view showed a
+    Message button; the OSN re-checks policy on delivery, so any
+    discrepancy (e.g. a stale view) shows up in ``message_failures``.
+    Friend requests, if enabled, go to every target — the OSN allows
+    them toward minors, which is exactly the Section-2 concern.
+    """
+    names = dict(name_of or {})
+    report = OutreachReport()
+    for uid, profile in extended.items():
+        messageable = bool(profile.view and profile.view.message_button)
+        report.record(profile.inferred_year, messageable)
+        friend_names = [
+            names[f] for f in sorted(profile.reverse_friends) if f in names
+        ]
+        if send_messages and messageable:
+            text = compose_personalized_message(profile, friend_names)
+            if client.send_message(uid, text):
+                report.messages_delivered += 1
+            else:
+                report.message_failures += 1
+        if send_friend_requests:
+            if client.send_friend_request(uid):
+                report.friend_requests_sent += 1
+    return report

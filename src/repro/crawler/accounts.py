@@ -1,0 +1,64 @@
+"""The attacker's pool of fake crawl accounts.
+
+The paper's script "takes as input the target high school's Facebook
+ID, a username and password for a fake account" and uses several
+accounts for the larger schools (2 for HS1, 4 each for HS2/HS3).  The
+pool hands out accounts round-robin and retires any the site disables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+from repro.osn.errors import AccountDisabledError
+
+
+class NoUsableAccountsError(RuntimeError):
+    """Every crawl account has been disabled by the site."""
+
+
+@dataclass
+class AccountPool:
+    """Round-robin rotation over fake account user ids."""
+
+    account_ids: List[int]
+    _disabled: set[int] = field(default_factory=set)
+    _cursor: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.account_ids:
+            raise ValueError("account pool cannot be empty")
+        if len(set(self.account_ids)) != len(self.account_ids):
+            raise ValueError("duplicate account ids in pool")
+
+    @property
+    def usable(self) -> List[int]:
+        return [a for a in self.account_ids if a not in self._disabled]
+
+    @property
+    def size(self) -> int:
+        return len(self.account_ids)
+
+    def next(self) -> int:
+        """The next usable account, rotating fairly."""
+        usable = self.usable
+        if not usable:
+            raise NoUsableAccountsError("all crawl accounts disabled")
+        account = usable[self._cursor % len(usable)]
+        self._cursor += 1
+        return account
+
+    def mark_disabled(self, account_id: int) -> None:
+        self._disabled.add(account_id)
+
+    def is_disabled(self, account_id: int) -> bool:
+        return account_id in self._disabled
+
+    def each_usable(self) -> Iterator[int]:
+        """Iterate once over the currently usable accounts."""
+        yield from self.usable
+
+    @classmethod
+    def of(cls, account_ids: Sequence[int]) -> "AccountPool":
+        return cls(list(account_ids))

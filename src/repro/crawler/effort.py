@@ -1,0 +1,101 @@
+"""Measurement-effort accounting (paper, Section 4.5 and Table 3).
+
+Anti-crawling defences make the number of HTTP GETs the attack's real
+cost.  The paper decomposes effort as ``A·R + |S| + |C|·f/p``: requests
+to gather seeds, requests for profile pages, and requests for paginated
+friend lists.  :class:`EffortCounter` measures the same categories from
+the live request stream, so Table 3 can be regenerated from observed
+counts, and :func:`predicted_requests` implements the analytic formula
+for cross-checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+#: Request categories matching Table 3's columns.
+CATEGORY_SEEDS = "seeds"
+CATEGORY_PROFILES = "profiles"
+CATEGORY_FRIEND_LISTS = "friend_lists"
+CATEGORY_OTHER = "other"
+
+_CATEGORIES = (CATEGORY_SEEDS, CATEGORY_PROFILES, CATEGORY_FRIEND_LISTS, CATEGORY_OTHER)
+
+
+@dataclass
+class EffortReport:
+    """A frozen summary of crawl effort, one row of Table 3."""
+
+    accounts_used: int
+    seed_requests: int
+    profile_requests: int
+    friend_list_requests: int
+    other_requests: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.seed_requests
+            + self.profile_requests
+            + self.friend_list_requests
+            + self.other_requests
+        )
+
+    def __add__(self, other: "EffortReport") -> "EffortReport":
+        return EffortReport(
+            accounts_used=max(self.accounts_used, other.accounts_used),
+            seed_requests=self.seed_requests + other.seed_requests,
+            profile_requests=self.profile_requests + other.profile_requests,
+            friend_list_requests=self.friend_list_requests + other.friend_list_requests,
+            other_requests=self.other_requests + other.other_requests,
+        )
+
+
+class EffortCounter:
+    """Counts HTTP GETs by category as the crawl proceeds."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {c: 0 for c in _CATEGORIES}
+        self._accounts: set[int] = set()
+
+    def record(self, category: str, account_id: int) -> None:
+        if category not in self._counts:
+            category = CATEGORY_OTHER
+        self._counts[category] += 1
+        self._accounts.add(account_id)
+
+    def count(self, category: str) -> int:
+        return self._counts.get(category, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def report(self) -> EffortReport:
+        return EffortReport(
+            accounts_used=len(self._accounts),
+            seed_requests=self._counts[CATEGORY_SEEDS],
+            profile_requests=self._counts[CATEGORY_PROFILES],
+            friend_list_requests=self._counts[CATEGORY_FRIEND_LISTS],
+            other_requests=self._counts[CATEGORY_OTHER],
+        )
+
+
+def predicted_requests(
+    accounts: int,
+    requests_per_account_for_seeds: float,
+    seed_count: int,
+    core_size: int,
+    mean_friends: float,
+    page_size: int = 20,
+) -> float:
+    """The paper's analytic effort estimate ``A·R + |S| + |C|·f/p``."""
+    if page_size <= 0:
+        raise ValueError("page_size must be positive")
+    return (
+        accounts * requests_per_account_for_seeds
+        + seed_count
+        + core_size * (mean_friends / page_size)
+    )

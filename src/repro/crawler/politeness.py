@@ -1,0 +1,75 @@
+"""Crawl pacing ("sleeping functions", paper Section 3.2).
+
+The paper's crawlers deliberately slept between requests so as not to
+perturb Facebook or trip its anti-crawling defences.  We reproduce the
+behaviour against the simulated clock: a policy decides how long to
+sleep before each request and how to back off when the site throttles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.osn.clock import SimClock
+
+
+@dataclass(frozen=True)
+class PolitenessPolicy:
+    """How long to pause between requests.
+
+    ``base_delay_seconds`` plus uniform jitter is slept before every
+    GET; ``backoff_factor`` scales the penalty sleep after each
+    rate-limit response; ``max_backoff_seconds`` caps it.
+    """
+
+    base_delay_seconds: float = 2.0
+    jitter_seconds: float = 1.0
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 300.0
+
+    def validate(self) -> None:
+        if self.base_delay_seconds < 0 or self.jitter_seconds < 0:
+            raise ValueError("delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+
+class Pacer:
+    """Applies a :class:`PolitenessPolicy` against the simulated clock."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        policy: PolitenessPolicy | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.clock = clock
+        self.policy = policy or PolitenessPolicy()
+        self.policy.validate()
+        self.rng = rng or random.Random(0xC0FFEE)
+        self._consecutive_throttles = 0
+        self.total_slept = 0.0
+
+    def before_request(self) -> None:
+        """Sleep the polite inter-request delay (simulated time)."""
+        delay = self.policy.base_delay_seconds
+        if self.policy.jitter_seconds > 0:
+            delay += self.rng.uniform(0.0, self.policy.jitter_seconds)
+        self._sleep(delay)
+
+    def on_throttle(self, retry_after: float) -> None:
+        """Back off after a rate-limit response, escalating geometrically."""
+        self._consecutive_throttles += 1
+        penalty = retry_after * (
+            self.policy.backoff_factor ** (self._consecutive_throttles - 1)
+        )
+        self._sleep(min(penalty, self.policy.max_backoff_seconds))
+
+    def on_success(self) -> None:
+        self._consecutive_throttles = 0
+
+    def _sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self.clock.sleep(seconds)
+            self.total_slept += seconds

@@ -1,0 +1,199 @@
+"""SQLite persistence for crawled data.
+
+The paper stored parsed page data in an SQL database (Section 3.2); we
+do the same so an interrupted crawl can resume and the analysis stage
+can run offline.  Profile views are stored as JSON documents plus a few
+indexed columns; friend lists and seed sets are relational.
+
+The store works on-disk or fully in memory (``path=":memory:"``).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import asdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.osn.network import DirectoryEntry
+from repro.osn.profile import Gender, SchoolAffiliation
+from repro.osn.view import ProfileView, WallPostView
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS profiles (
+    user_id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL,
+    school_id INTEGER,
+    graduation_year INTEGER,
+    friend_list_visible INTEGER NOT NULL,
+    is_minimal INTEGER NOT NULL,
+    document TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS friendships (
+    owner_id INTEGER NOT NULL,
+    friend_id INTEGER NOT NULL,
+    friend_name TEXT NOT NULL,
+    PRIMARY KEY (owner_id, friend_id)
+);
+CREATE TABLE IF NOT EXISTS seeds (
+    school_id INTEGER NOT NULL,
+    user_id INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    PRIMARY KEY (school_id, user_id)
+);
+CREATE INDEX IF NOT EXISTS idx_friend ON friendships(friend_id);
+CREATE INDEX IF NOT EXISTS idx_profile_school ON profiles(school_id, graduation_year);
+"""
+
+
+def _view_to_json(view: ProfileView) -> str:
+    doc = asdict(view)
+    doc["gender"] = view.gender.value if view.gender is not None else None
+    doc["high_schools"] = [
+        {
+            "school_id": a.school_id,
+            "school_name": a.school_name,
+            "graduation_year": a.graduation_year,
+        }
+        for a in view.high_schools
+    ]
+    doc["wall_posts"] = [
+        {"author_id": p.author_id, "text": p.text} for p in view.wall_posts
+    ]
+    return json.dumps(doc)
+
+
+def _view_from_json(document: str) -> ProfileView:
+    doc = json.loads(document)
+    doc["gender"] = Gender(doc["gender"]) if doc["gender"] else None
+    doc["networks"] = tuple(doc["networks"])
+    doc["high_schools"] = tuple(
+        SchoolAffiliation(a["school_id"], a["school_name"], a["graduation_year"])
+        for a in doc["high_schools"]
+    )
+    doc["wall_posts"] = tuple(
+        WallPostView(p["author_id"], p["text"]) for p in doc.get("wall_posts", [])
+    )
+    return ProfileView(**doc)
+
+
+class CrawlStore:
+    """A SQLite-backed store of everything the crawl observed."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CrawlStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Profiles
+    # ------------------------------------------------------------------
+    def save_profile(self, view: ProfileView, target_school_id: Optional[int] = None) -> None:
+        affiliation = None
+        if target_school_id is not None:
+            affiliation = next(
+                (a for a in view.high_schools if a.school_id == target_school_id), None
+            )
+        elif view.high_schools:
+            affiliation = view.high_schools[-1]
+        self._conn.execute(
+            "INSERT OR REPLACE INTO profiles VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                view.user_id,
+                view.name,
+                affiliation.school_id if affiliation else None,
+                affiliation.graduation_year if affiliation else None,
+                int(view.friend_list_visible),
+                int(view.is_minimal()),
+                _view_to_json(view),
+            ),
+        )
+        self._conn.commit()
+
+    def save_profiles(
+        self, views: Iterable[ProfileView], target_school_id: Optional[int] = None
+    ) -> None:
+        for view in views:
+            self.save_profile(view, target_school_id)
+
+    def load_profile(self, user_id: int) -> Optional[ProfileView]:
+        row = self._conn.execute(
+            "SELECT document FROM profiles WHERE user_id = ?", (user_id,)
+        ).fetchone()
+        return _view_from_json(row[0]) if row else None
+
+    def profile_count(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM profiles").fetchone()[0]
+
+    def profiles_claiming_school(
+        self, school_id: int, min_year: Optional[int] = None
+    ) -> List[ProfileView]:
+        """Profiles listing ``school_id`` (optionally with year >= min_year)."""
+        if min_year is None:
+            rows = self._conn.execute(
+                "SELECT document FROM profiles WHERE school_id = ?", (school_id,)
+            )
+        else:
+            rows = self._conn.execute(
+                "SELECT document FROM profiles WHERE school_id = ? "
+                "AND graduation_year >= ?",
+                (school_id, min_year),
+            )
+        return [_view_from_json(r[0]) for r in rows]
+
+    # ------------------------------------------------------------------
+    # Friend lists
+    # ------------------------------------------------------------------
+    def save_friend_list(self, owner_id: int, entries: Sequence[DirectoryEntry]) -> None:
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO friendships VALUES (?, ?, ?)",
+            [(owner_id, e.user_id, e.name) for e in entries],
+        )
+        self._conn.commit()
+
+    def load_friend_list(self, owner_id: int) -> List[DirectoryEntry]:
+        rows = self._conn.execute(
+            "SELECT friend_id, friend_name FROM friendships WHERE owner_id = ? "
+            "ORDER BY friend_id",
+            (owner_id,),
+        )
+        return [DirectoryEntry(uid, name) for uid, name in rows]
+
+    def owners_with_friend_lists(self) -> Set[int]:
+        rows = self._conn.execute("SELECT DISTINCT owner_id FROM friendships")
+        return {r[0] for r in rows}
+
+    def reverse_lookup(self, friend_id: int) -> List[int]:
+        """Owners whose stored friend lists contain ``friend_id``."""
+        rows = self._conn.execute(
+            "SELECT owner_id FROM friendships WHERE friend_id = ? ORDER BY owner_id",
+            (friend_id,),
+        )
+        return [r[0] for r in rows]
+
+    def friendship_count(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM friendships").fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # Seeds
+    # ------------------------------------------------------------------
+    def save_seeds(self, school_id: int, seeds: Dict[int, str]) -> None:
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO seeds VALUES (?, ?, ?)",
+            [(school_id, uid, name) for uid, name in seeds.items()],
+        )
+        self._conn.commit()
+
+    def load_seeds(self, school_id: int) -> Dict[int, str]:
+        rows = self._conn.execute(
+            "SELECT user_id, name FROM seeds WHERE school_id = ?", (school_id,)
+        )
+        return {uid: name for uid, name in rows}

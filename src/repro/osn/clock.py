@@ -1,0 +1,85 @@
+"""Simulated time for the OSN and its crawlers.
+
+The paper's crawler implements "sleeping functions" to stay polite
+(Section 3.2).  Re-running experiments must not actually sleep, so both
+the OSN's rate limiter and the crawler's politeness layer draw time from
+a :class:`SimClock` that only advances when a component explicitly sleeps
+or when work is accounted for.
+
+The clock also tracks the simulation's *calendar date*, because the
+attack's semantics depend on "the current year" (who counts as a current
+student, who is a registered adult).  Dates are modelled as fractional
+years for simplicity; ``date_of(2012.25)`` is around April 2012, which is
+when the paper collected the HS1 data set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    Parameters
+    ----------
+    now_year:
+        The calendar instant as a fractional year (e.g. ``2012.25``).
+    """
+
+    now_year: float = 2012.25
+    _elapsed_seconds: float = field(default=0.0, repr=False)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total simulated seconds advanced since the clock was created."""
+        return self._elapsed_seconds
+
+    def seconds(self) -> float:
+        """Current simulated time in seconds (monotonic)."""
+        return self._elapsed_seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Advance the clock by ``seconds`` without real-world waiting."""
+        if seconds < 0:
+            raise ValueError(f"cannot sleep a negative duration: {seconds}")
+        self._elapsed_seconds += seconds
+        self.now_year += seconds / SECONDS_PER_YEAR
+
+    def advance_years(self, years: float) -> None:
+        """Advance the calendar by ``years`` (used by world generators)."""
+        if years < 0:
+            raise ValueError(f"cannot advance time backwards: {years}")
+        self.now_year += years
+        self._elapsed_seconds += years * SECONDS_PER_YEAR
+
+    @property
+    def current_year(self) -> int:
+        """The whole calendar year (e.g. 2012)."""
+        return int(self.now_year)
+
+    def age_of(self, birth_year_fraction: float) -> float:
+        """Age in fractional years of someone born at ``birth_year_fraction``."""
+        return self.now_year - birth_year_fraction
+
+    def copy(self) -> "SimClock":
+        """An independent clock frozen at the same instant."""
+        return SimClock(now_year=self.now_year, _elapsed_seconds=self._elapsed_seconds)
+
+
+def school_class_year(now_year_fraction: float) -> float:
+    """The graduation year of the *current senior class* at this instant.
+
+    US school years straddle calendar years: in November 2011 the senior
+    class graduates in June 2012.  Classes graduate around mid-year, so
+    any instant past ~July belongs to the school year that graduates the
+    following calendar year.
+    """
+    year = int(now_year_fraction)
+    if now_year_fraction - year > 0.5:
+        year += 1
+    return year

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the simulated Online Social Network.
+
+The frontend mimics an HTTP site, so most errors carry an HTTP-like status
+code.  The crawler layer catches these to implement back-off and account
+rotation, exactly as a real crawler must when scraping a production OSN.
+"""
+
+from __future__ import annotations
+
+
+class OsnError(Exception):
+    """Base class for every error raised by the OSN simulator."""
+
+    status_code = 500
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.__class__.__name__)
+        self.message = message or self.__class__.__name__
+
+
+class BadRequestError(OsnError):
+    """Malformed request (unknown route, bad parameter types)."""
+
+    status_code = 400
+
+
+class NotFoundError(OsnError):
+    """The referenced user, school or page does not exist."""
+
+    status_code = 404
+
+
+class ForbiddenError(OsnError):
+    """The requested content exists but is not visible to the viewer."""
+
+    status_code = 403
+
+
+class AuthenticationError(OsnError):
+    """The request carried no valid logged-in session."""
+
+    status_code = 401
+
+
+class AccountDisabledError(OsnError):
+    """The account has been disabled (e.g. by the anti-crawling defence).
+
+    Real OSNs temporarily or permanently disable accounts that fetch too
+    many pages too quickly (paper, Section 4.5).  The rate limiter raises
+    this when a crawl account exceeds its request budget.
+    """
+
+    status_code = 403
+
+
+class RateLimitedError(OsnError):
+    """Transient throttling response; the client should slow down.
+
+    Carries ``retry_after`` in (simulated) seconds.  Repeated violations
+    escalate to :class:`AccountDisabledError`.
+    """
+
+    status_code = 429
+
+    def __init__(self, message: str = "", retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RegistrationError(OsnError):
+    """Account creation rejected (e.g. registered birth date under 13)."""
+
+    status_code = 400
+
+
+class PolicyError(OsnError):
+    """Internal misuse of the policy engine (programming error)."""
+
+    status_code = 500
+
+
+class ParseError(OsnError):
+    """A crawled page could not be parsed into the expected structure."""
+
+    status_code = 500

@@ -1,0 +1,155 @@
+"""The OSN's HTML-over-HTTP face.
+
+:class:`HtmlFrontend` is the *only* interface the crawler layer may
+touch.  Each ``get()`` is one simulated HTTP GET: it authenticates the
+session account, charges the rate limiter, routes the path, renders the
+policy-filtered result to HTML and returns the string — mirroring how
+the paper's crawler "visits public Web pages in Facebook and downloads
+the HTML source code of each Web page" (Section 3.2).
+
+Routes
+------
+``/find-friends/browser?school=<id>&offset=<n>``
+    The Find Friends Portal, paginated (AJAX-style offsets).
+``/graphsearch?school=<id>[&year_op=..&year=..][&city=..][&current=1]``
+    Graph Search with structured filters.
+``/profile/<uid>``
+    A public profile, rendered for the session's viewer.
+``/profile/<uid>/friends?offset=<n>``
+    One page (20 rows) of a friend list.
+``/school/<id>``
+    School directory entry (name, city, enrollment hint).
+``/messages/send?to=<uid>&text=...``
+    Send a direct message (policy permitting) - a confirmation page or
+    a 403 mirrors whether the Message button was available.
+``/friend-request?to=<uid>``
+    Send a friend request (allowed toward anyone).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Mapping, Optional
+
+from . import pages
+from .errors import AuthenticationError, BadRequestError, NotFoundError
+from .network import GraphSearchQuery, SocialNetwork
+from .ratelimit import RateLimitConfig, RateLimiter
+
+_PROFILE_RE = re.compile(r"^/profile/(\d+)$")
+_FRIENDS_RE = re.compile(r"^/profile/(\d+)/friends$")
+_SCHOOL_RE = re.compile(r"^/school/(\d+)$")
+
+
+class HtmlFrontend:
+    """Serve the social network as HTML pages, one GET at a time."""
+
+    def __init__(
+        self,
+        network: SocialNetwork,
+        rate_limit: Optional[RateLimitConfig] = None,
+    ) -> None:
+        self.network = network
+        self.limiter = RateLimiter(network.clock, rate_limit)
+        self.request_count = 0
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        account_id: int,
+        path: str,
+        params: Optional[Mapping[str, str]] = None,
+    ) -> str:
+        """Perform one authenticated GET and return the page HTML."""
+        self._authenticate(account_id)
+        self.limiter.check(account_id)
+        self.request_count += 1
+        params = dict(params or {})
+
+        if path == "/find-friends/browser":
+            return self._find_friends(account_id, params)
+        if path == "/graphsearch":
+            return self._graph_search(account_id, params)
+        match = _FRIENDS_RE.match(path)
+        if match:
+            return self._friends(account_id, int(match.group(1)), params)
+        match = _PROFILE_RE.match(path)
+        if match:
+            return self._profile(account_id, int(match.group(1)))
+        match = _SCHOOL_RE.match(path)
+        if match:
+            return self._school(int(match.group(1)))
+        if path == "/messages/send":
+            return self._send_message(account_id, params)
+        if path == "/friend-request":
+            return self._friend_request(account_id, params)
+        raise NotFoundError(f"no route for {path!r}")
+
+    def _authenticate(self, account_id: int) -> None:
+        account = self.network.users.get(account_id)
+        if account is None:
+            raise AuthenticationError(f"unknown session account {account_id}")
+        if account.disabled:
+            raise AuthenticationError(f"session account {account_id} is disabled")
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _int_param(params: Mapping[str, str], key: str, default: Optional[int] = None) -> int:
+        raw = params.get(key)
+        if raw is None:
+            if default is None:
+                raise BadRequestError(f"missing required parameter {key!r}")
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise BadRequestError(f"parameter {key!r} is not an integer: {raw!r}") from None
+
+    def _find_friends(self, account_id: int, params: Mapping[str, str]) -> str:
+        school_id = self._int_param(params, "school")
+        offset = self._int_param(params, "offset", 0)
+        total, entries = self.network.school_search(account_id, school_id, offset)
+        return pages.render_search_page(total, offset, entries)
+
+    def _graph_search(self, account_id: int, params: Mapping[str, str]) -> str:
+        school_id = self._int_param(params, "school")
+        year_op = params.get("year_op")
+        year = self._int_param(params, "year", -1) if "year" in params else None
+        query = GraphSearchQuery(
+            school_id=school_id,
+            year_op=year_op,
+            year=year,
+            current_city=params.get("city"),
+            current_students_only=params.get("current") == "1",
+        )
+        entries = self.network.graph_search(account_id, query)
+        return pages.render_search_page(len(entries), 0, entries)
+
+    def _profile(self, account_id: int, target_id: int) -> str:
+        view = self.network.view_profile(account_id, target_id)
+        return pages.render_profile_page(view)
+
+    def _friends(self, account_id: int, target_id: int, params: Mapping[str, str]) -> str:
+        offset = self._int_param(params, "offset", 0)
+        total, entries = self.network.friend_page(account_id, target_id, offset)
+        return pages.render_friends_page(target_id, total, offset, entries)
+
+    def _school(self, school_id: int) -> str:
+        school = self.network.get_school(school_id)
+        return pages.render_school_page(school)
+
+    def _send_message(self, account_id: int, params: Mapping[str, str]) -> str:
+        recipient = self._int_param(params, "to")
+        text = params.get("text", "")
+        self.network.send_message(account_id, recipient, text)
+        return pages.render_action_page("message-sent", recipient)
+
+    def _friend_request(self, account_id: int, params: Mapping[str, str]) -> str:
+        recipient = self._int_param(params, "to")
+        accepted = self.network.send_friend_request(account_id, recipient)
+        kind = "friend-request-sent" if accepted else "friend-request-duplicate"
+        return pages.render_action_page(kind, recipient)

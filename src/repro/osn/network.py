@@ -1,0 +1,497 @@
+"""The simulated Online Social Network.
+
+:class:`SocialNetwork` owns the account registry, the friendship graph,
+the school directory and the policy engine, and answers the only
+questions the outside world may ask:
+
+* ``view_profile(viewer, target)`` — the policy-filtered profile view;
+* ``friend_page(viewer, target, offset)`` — one page (20 entries, the
+  paper's ``p = 20``) of a friend list, *if* it is visible, with the
+  Section-8 reverse-lookup countermeasure applied when enabled;
+* ``school_search(...)`` — the Find Friends Portal: registered adults
+  associated with a school, truncated per account, never minors;
+* ``graph_search(...)`` — structured queries ("current students at HS1
+  who live in city C"), with the same minor exclusion.
+
+Everything the crawler does goes through the HTML frontend
+(``repro.osn.frontend``) which in turn calls these methods, so the
+attack code can never accidentally peek at ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .clock import SimClock
+from .errors import ForbiddenError, NotFoundError, RegistrationError
+from .graph import FriendGraph
+from .messaging import ContactService, FriendRequest, Message
+from .policy import SitePolicy, facebook_policy
+from .privacy import Audience, PrivacySettings, ProfileField, Relationship
+from .profile import Birthday, Profile
+from .user import Account
+from .view import ProfileView, WallPostView
+
+
+@dataclass(frozen=True)
+class School:
+    """An entry in the OSN's school directory.
+
+    ``enrollment_hint`` models the approximate school size an attacker
+    can look up on Wikipedia (the paper's step 6 uses it to pick the
+    threshold ``t``).
+    """
+
+    school_id: int
+    name: str
+    city: str
+    enrollment_hint: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DirectoryEntry:
+    """A search result or friend-list row: id plus display name."""
+
+    user_id: int
+    name: str
+
+
+@dataclass(frozen=True)
+class GraphSearchQuery:
+    """A structured Graph-Search-style query.
+
+    ``year_op`` is one of ``"in"``, ``"after"``, ``"before"`` or ``None``
+    (no year constraint); ``current_city`` optionally restricts to users
+    whose profile lists that city.  ``current_students_only`` mirrors
+    "current students at HS1" queries.
+    """
+
+    school_id: int
+    year_op: Optional[str] = None
+    year: Optional[int] = None
+    current_city: Optional[str] = None
+    current_students_only: bool = False
+
+
+class SocialNetwork:
+    """A complete in-memory OSN with Facebook-like semantics."""
+
+    def __init__(
+        self,
+        policy: Optional[SitePolicy] = None,
+        clock: Optional[SimClock] = None,
+        *,
+        reverse_lookup_enabled: bool = True,
+        search_result_cap: int = 256,
+        search_page_size: int = 20,
+        friends_page_size: int = 20,
+        search_salt: int = 0,
+    ) -> None:
+        self.policy = policy or facebook_policy()
+        self.policy.validate()
+        self.clock = clock or SimClock()
+        self.reverse_lookup_enabled = reverse_lookup_enabled
+        self.search_result_cap = search_result_cap
+        self.search_page_size = search_page_size
+        self.friends_page_size = friends_page_size
+        self.search_salt = search_salt
+
+        self.users: Dict[int, Account] = {}
+        self.graph = FriendGraph()
+        self.contact = ContactService()
+        self.schools: Dict[int, School] = {}
+        self._next_user_id = 1
+        self._next_school_id = 1
+        self._school_members: Dict[int, List[int]] = {}
+        self._school_index_dirty = True
+
+    # ------------------------------------------------------------------
+    # Directory management
+    # ------------------------------------------------------------------
+    def register_school(
+        self, name: str, city: str, enrollment_hint: Optional[int] = None
+    ) -> School:
+        school = School(self._next_school_id, name, city, enrollment_hint)
+        self._next_school_id += 1
+        self.schools[school.school_id] = school
+        self._school_index_dirty = True
+        return school
+
+    def get_school(self, school_id: int) -> School:
+        try:
+            return self.schools[school_id]
+        except KeyError:
+            raise NotFoundError(f"no such school: {school_id}") from None
+
+    def find_school_by_name(self, name: str) -> Optional[School]:
+        lowered = name.lower()
+        for school in self.schools.values():
+            if school.name.lower() == lowered:
+                return school
+        return None
+
+    # ------------------------------------------------------------------
+    # Accounts
+    # ------------------------------------------------------------------
+    def register_account(
+        self,
+        profile: Profile,
+        registered_birthday: Birthday,
+        real_birthday: Optional[Birthday] = None,
+        settings: Optional[PrivacySettings] = None,
+        *,
+        person_id: Optional[int] = None,
+        created_at_year: Optional[float] = None,
+        is_fake: bool = False,
+        enforce_minimum_age: bool = True,
+    ) -> Account:
+        """Create an account, enforcing the registration age ban.
+
+        ``real_birthday`` defaults to the registered one (truthful user).
+        The age check applies to the *registered* birthday at the account
+        creation instant — lying about the birth year is exactly how
+        under-13 children bypass it (paper, Section 1).
+        """
+        created = created_at_year if created_at_year is not None else self.clock.now_year
+        registered_age = created - registered_birthday.as_year_fraction
+        if enforce_minimum_age and not self.policy.registration_allowed(registered_age):
+            raise RegistrationError(
+                f"registered age {registered_age:.1f} below minimum "
+                f"{self.policy.minimum_registration_age}"
+            )
+        account = Account(
+            user_id=self._next_user_id,
+            profile=profile,
+            registered_birthday=registered_birthday,
+            real_birthday=real_birthday or registered_birthday,
+            settings=settings if settings is not None else self._default_settings(registered_birthday),
+            person_id=person_id,
+            created_at_year=created,
+            is_fake=is_fake,
+        )
+        self._next_user_id += 1
+        self.users[account.user_id] = account
+        self.graph.add_node(account.user_id)
+        self._school_index_dirty = True
+        return account
+
+    def _default_settings(self, registered_birthday: Birthday) -> PrivacySettings:
+        age_now = registered_birthday.age_at(self.clock.now_year)
+        if age_now < self.policy.adult_age:
+            return self.policy.default_minor_settings
+        return self.policy.default_adult_settings
+
+    def get_account(self, user_id: int) -> Account:
+        try:
+            return self.users[user_id]
+        except KeyError:
+            raise NotFoundError(f"no such user: {user_id}") from None
+
+    def add_friendship(self, a: int, b: int) -> bool:
+        """Create a (mutual) friendship between two existing accounts."""
+        acct_a, acct_b = self.get_account(a), self.get_account(b)
+        if self.graph.add_edge(a, b):
+            acct_a.friend_ids.add(b)
+            acct_b.friend_ids.add(a)
+            return True
+        return False
+
+    def friend_count(self, user_id: int) -> int:
+        return self.graph.degree(user_id)
+
+    @property
+    def current_year(self) -> int:
+        return self.clock.current_year
+
+    def is_registered_minor(self, user_id: int) -> bool:
+        return self.policy.is_registered_minor(self.get_account(user_id), self.clock.now_year)
+
+    # ------------------------------------------------------------------
+    # Viewer relationship
+    # ------------------------------------------------------------------
+    def relationship(self, viewer_id: Optional[int], target_id: int) -> Relationship:
+        """The viewer's relationship to the target (paper, Section 3).
+
+        ``viewer_id=None`` models a logged-out visitor: a stranger.
+        """
+        target = self.get_account(target_id)
+        if viewer_id is None:
+            return Relationship.STRANGER
+        if viewer_id == target_id:
+            return Relationship.SELF
+        viewer = self.get_account(viewer_id)
+        if self.graph.are_friends(viewer_id, target_id):
+            return Relationship.FRIEND
+        if self.graph.has_mutual_friend(viewer_id, target_id):
+            return Relationship.FRIEND_OF_FRIEND
+        if set(viewer.profile.networks) & set(target.profile.networks):
+            return Relationship.NETWORK_MEMBER
+        return Relationship.STRANGER
+
+    # ------------------------------------------------------------------
+    # Profile views
+    # ------------------------------------------------------------------
+    def view_profile(self, viewer_id: Optional[int], target_id: int) -> ProfileView:
+        """Render ``target_id``'s profile as ``viewer_id`` sees it."""
+        account = self.get_account(target_id)
+        if account.disabled:
+            raise NotFoundError(f"account {target_id} is deactivated")
+        rel = self.relationship(viewer_id, target_id)
+        now = self.clock.now_year
+        policy = self.policy
+
+        def sees(field_: ProfileField) -> bool:
+            return policy.field_visible_to(account, field_, rel, now)
+
+        profile = account.profile
+        contact = profile.contact_info
+        contact_visible = sees(ProfileField.CONTACT_INFO) and contact is not None
+        return ProfileView(
+            user_id=target_id,
+            name=profile.name.full,
+            gender=profile.gender if sees(ProfileField.GENDER) else None,
+            networks=profile.networks if sees(ProfileField.NETWORKS) else (),
+            has_profile_photo=profile.has_profile_photo and sees(ProfileField.PROFILE_PHOTO),
+            high_schools=profile.high_schools if sees(ProfileField.HIGH_SCHOOL) else (),
+            relationship_status=(
+                profile.relationship_status if sees(ProfileField.RELATIONSHIP) else None
+            ),
+            interested_in=profile.interested_in if sees(ProfileField.INTERESTED_IN) else None,
+            birthday_year=(
+                account.registered_birthday.year
+                if sees(ProfileField.BIRTHDAY) and profile.birthday is not None
+                else None
+            ),
+            hometown=profile.hometown if sees(ProfileField.HOMETOWN) else None,
+            current_city=profile.current_city if sees(ProfileField.CURRENT_CITY) else None,
+            employer=profile.employer if sees(ProfileField.EMPLOYER) else None,
+            graduate_school=(
+                profile.graduate_school if sees(ProfileField.GRADUATE_SCHOOL) else None
+            ),
+            photo_count=profile.photo_count if sees(ProfileField.PHOTOS) else None,
+            wall_post_count=len(profile.wall_posts) if sees(ProfileField.WALL) else None,
+            wall_posts=(
+                tuple(
+                    WallPostView(post.author_id, post.text)
+                    for post in profile.wall_posts
+                )
+                if sees(ProfileField.WALL)
+                else ()
+            ),
+            contact_email=contact.email if contact_visible else None,
+            contact_phone=contact.phone if contact_visible else None,
+            friend_list_visible=self._friend_list_visible(account, rel),
+            message_button=policy.message_button_visible(account, rel, now),
+            public_search_listed=policy.public_search_eligible(account, now),
+        )
+
+    def _friend_list_visible(self, account: Account, rel: Relationship) -> bool:
+        return self.policy.field_visible_to(
+            account, ProfileField.FRIEND_LIST, rel, self.clock.now_year
+        )
+
+    # ------------------------------------------------------------------
+    # Friend lists (paginated; reverse-lookup countermeasure lives here)
+    # ------------------------------------------------------------------
+    def friend_page(
+        self, viewer_id: Optional[int], target_id: int, offset: int = 0
+    ) -> Tuple[int, List[DirectoryEntry]]:
+        """One page of ``target_id``'s friend list as seen by the viewer.
+
+        Returns ``(total_visible, entries)``.  Raises
+        :class:`ForbiddenError` when the list is not visible at all.
+
+        When ``reverse_lookup_enabled`` is ``False`` (the Section-8
+        countermeasure), a member is omitted from *other people's* friend
+        lists whenever their own friend list is hidden from this viewer —
+        so users who hide their list (and all registered minors) can no
+        longer be discovered through their friends' lists.
+        """
+        account = self.get_account(target_id)
+        rel = self.relationship(viewer_id, target_id)
+        if not self._friend_list_visible(account, rel):
+            raise ForbiddenError(f"friend list of {target_id} not visible")
+        friend_ids = self.graph.neighbors_list(target_id)
+        if not self.reverse_lookup_enabled:
+            friend_ids = [
+                fid for fid in friend_ids if self._visible_in_friend_lists(viewer_id, fid)
+            ]
+        total = len(friend_ids)
+        page = friend_ids[offset : offset + self.friends_page_size]
+        entries = [
+            DirectoryEntry(fid, self.users[fid].profile.name.full) for fid in page
+        ]
+        return total, entries
+
+    def _visible_in_friend_lists(self, viewer_id: Optional[int], member_id: int) -> bool:
+        """Countermeasure predicate: may ``member_id`` appear in friend lists?"""
+        member = self.users.get(member_id)
+        if member is None or member.disabled:
+            return False
+        rel = self.relationship(viewer_id, member_id)
+        return self._friend_list_visible(member, rel)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _school_member_ids(self, school_id: int) -> List[int]:
+        """All user ids whose profile lists ``school_id`` (any audience)."""
+        if self._school_index_dirty:
+            self._rebuild_school_index()
+        return self._school_members.get(school_id, [])
+
+    def _rebuild_school_index(self) -> None:
+        members: Dict[int, List[int]] = {}
+        for user_id in sorted(self.users):
+            for affiliation in self.users[user_id].profile.high_schools:
+                members.setdefault(affiliation.school_id, []).append(user_id)
+        self._school_members = members
+        self._school_index_dirty = False
+
+    def _search_pool(self, viewer_account_id: int, school_id: int) -> List[int]:
+        """The truncated, per-account sample the Find Friends Portal serves.
+
+        Real Facebook returned only a few hundred results per search and
+        different (overlapping) result sets to different accounts — the
+        paper exploits this by searching from multiple fake accounts.  We
+        model it as a deterministic per-account shuffled sample of the
+        eligible users, capped at ``search_result_cap``.
+        """
+        now = self.clock.now_year
+        eligible = [
+            uid
+            for uid in self._school_member_ids(school_id)
+            if self.policy.school_search_eligible(self.users[uid], now)
+        ]
+        if len(eligible) <= self.search_result_cap:
+            return eligible
+        rng = random.Random((viewer_account_id * 1_000_003 + school_id) ^ self.search_salt)
+        return sorted(rng.sample(eligible, self.search_result_cap))
+
+    def school_search(
+        self, viewer_account_id: int, school_id: int, offset: int = 0
+    ) -> Tuple[int, List[DirectoryEntry]]:
+        """One page of Find-Friends-Portal results for a school.
+
+        Registered minors are *never* returned (the precaution the paper
+        verified with ground truth).  Returns ``(total, entries)``.
+        """
+        self.get_school(school_id)
+        self.get_account(viewer_account_id)
+        pool = self._search_pool(viewer_account_id, school_id)
+        page = pool[offset : offset + self.search_page_size]
+        entries = [
+            DirectoryEntry(uid, self.users[uid].profile.name.full) for uid in page
+        ]
+        return len(pool), entries
+
+    def graph_search(
+        self, viewer_account_id: int, query: GraphSearchQuery
+    ) -> List[DirectoryEntry]:
+        """Structured search; same eligibility rules as the portal."""
+        self.get_account(viewer_account_id)
+        if self.search_result_cap <= 0:
+            return []
+        now = self.clock.now_year
+        current_year = self.clock.current_year
+        results: List[DirectoryEntry] = []
+        for uid in self._school_member_ids(query.school_id):
+            account = self.users[uid]
+            if not self.policy.school_search_eligible(account, now):
+                continue
+            affiliation = account.profile.affiliation_for(query.school_id)
+            if affiliation is None:
+                continue
+            if query.current_students_only and not affiliation.is_current_student(
+                current_year
+            ):
+                continue
+            if query.year_op is not None:
+                if affiliation.graduation_year is None or query.year is None:
+                    continue
+                grad = affiliation.graduation_year
+                matches = {
+                    "in": grad == query.year,
+                    "after": grad > query.year,
+                    "before": grad < query.year,
+                }.get(query.year_op)
+                if matches is None:
+                    raise ValueError(f"bad year_op: {query.year_op!r}")
+                if not matches:
+                    continue
+            if (
+                query.current_city is not None
+                and account.profile.current_city != query.current_city
+            ):
+                continue
+            results.append(DirectoryEntry(uid, account.profile.name.full))
+            if len(results) >= self.search_result_cap:
+                break
+        return results
+
+    # ------------------------------------------------------------------
+    # Contact surfaces (messages and friend requests; Section 2 threats)
+    # ------------------------------------------------------------------
+    def can_message(self, sender_id: int, recipient_id: int) -> bool:
+        """Whether the sender sees the recipient's Message button."""
+        recipient = self.get_account(recipient_id)
+        rel = self.relationship(sender_id, recipient_id)
+        return self.policy.message_button_visible(recipient, rel, self.clock.now_year)
+
+    def send_message(self, sender_id: int, recipient_id: int, text: str) -> Message:
+        """Deliver a direct message, or raise :class:`ForbiddenError`.
+
+        The policy decides: strangers can never message registered
+        minors on Facebook, but *can* message the many minors whose
+        lied-about age makes them registered adults (Table 5's
+        'Message link' row).
+        """
+        self.get_account(sender_id)
+        if not self.can_message(sender_id, recipient_id):
+            raise ForbiddenError(
+                f"user {sender_id} may not message user {recipient_id}"
+            )
+        message = Message(sender_id, recipient_id, text, self.clock.now_year)
+        self.contact.deliver_message(message)
+        return message
+
+    def send_friend_request(self, sender_id: int, recipient_id: int) -> bool:
+        """Send a friend request (allowed toward anyone, even minors)."""
+        self.get_account(sender_id)
+        self.get_account(recipient_id)
+        if self.graph.are_friends(sender_id, recipient_id):
+            return False
+        return self.contact.add_request(
+            FriendRequest(sender_id, recipient_id, self.clock.now_year)
+        )
+
+    def respond_to_friend_request(
+        self, recipient_id: int, sender_id: int, accept: bool
+    ) -> bool:
+        """Answer a pending request; creates the friendship on accept."""
+        request = self.contact.pop_request(recipient_id, sender_id)
+        if request is None:
+            return False
+        if accept:
+            self.add_friendship(sender_id, recipient_id)
+        return accept
+
+    # ------------------------------------------------------------------
+    # Statistics (for tests / world validation; not used by the attack)
+    # ------------------------------------------------------------------
+    def population_stats(self) -> Dict[str, float]:
+        now = self.clock.now_year
+        total = len(self.users)
+        minors = sum(
+            1 for a in self.users.values() if self.policy.is_registered_minor(a, now)
+        )
+        liars = sum(1 for a in self.users.values() if a.lied_about_age())
+        return {
+            "users": float(total),
+            "registered_minors": float(minors),
+            "age_liars": float(liars),
+            "edges": float(self.graph.edge_count()),
+            "mean_degree": self.graph.mean_degree(),
+        }

@@ -1,0 +1,99 @@
+"""Anti-crawling defence: per-account request rate limiting.
+
+Real OSNs temporarily or permanently disable accounts that fetch too
+many pages too quickly (paper, Section 4.5); the attacker must therefore
+pace requests and spread them over multiple accounts.  We model this
+with a sliding-window limiter driven by the simulated clock:
+
+* more than ``max_requests`` GETs inside ``window_seconds`` earns a
+  *strike* and a :class:`~repro.osn.errors.RateLimitedError`;
+* ``strikes_to_disable`` strikes permanently disables the account
+  (:class:`~repro.osn.errors.AccountDisabledError` thereafter).
+
+A polite crawler that sleeps between requests (simulated time) never
+trips it; an aggressive one loses its accounts, exactly the trade-off
+the paper's "measurement effort" discussion is about.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict
+
+from .clock import SimClock
+from .errors import AccountDisabledError, RateLimitedError
+
+
+@dataclass(frozen=True)
+class RateLimitConfig:
+    """Tuning knobs for the sliding-window limiter."""
+
+    max_requests: int = 30
+    window_seconds: float = 60.0
+    strikes_to_disable: int = 3
+
+    def validate(self) -> None:
+        if self.max_requests <= 0:
+            raise ValueError("max_requests must be positive")
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if self.strikes_to_disable <= 0:
+            raise ValueError("strikes_to_disable must be positive")
+
+
+@dataclass
+class _AccountState:
+    timestamps: Deque[float] = field(default_factory=deque)
+    strikes: int = 0
+    disabled: bool = False
+
+
+class RateLimiter:
+    """Sliding-window limiter over simulated time, per account."""
+
+    def __init__(self, clock: SimClock, config: RateLimitConfig | None = None) -> None:
+        self.clock = clock
+        self.config = config or RateLimitConfig()
+        self.config.validate()
+        self._states: Dict[int, _AccountState] = {}
+
+    def check(self, account_id: int) -> None:
+        """Record one request; raise if the account is over its budget."""
+        state = self._states.setdefault(account_id, _AccountState())
+        if state.disabled:
+            raise AccountDisabledError(
+                f"account {account_id} disabled for aggressive crawling"
+            )
+        now = self.clock.seconds()
+        horizon = now - self.config.window_seconds
+        stamps = state.timestamps
+        while stamps and stamps[0] <= horizon:
+            stamps.popleft()
+        if len(stamps) >= self.config.max_requests:
+            state.strikes += 1
+            if state.strikes >= self.config.strikes_to_disable:
+                state.disabled = True
+                raise AccountDisabledError(
+                    f"account {account_id} disabled after {state.strikes} strikes"
+                )
+            retry_after = (stamps[0] + self.config.window_seconds) - now
+            raise RateLimitedError(
+                f"account {account_id} over rate limit", retry_after=max(retry_after, 0.1)
+            )
+        stamps.append(now)
+
+    def is_disabled(self, account_id: int) -> bool:
+        state = self._states.get(account_id)
+        return state is not None and state.disabled
+
+    def strikes(self, account_id: int) -> int:
+        state = self._states.get(account_id)
+        return 0 if state is None else state.strikes
+
+    def requests_in_window(self, account_id: int) -> int:
+        state = self._states.get(account_id)
+        if state is None:
+            return 0
+        horizon = self.clock.seconds() - self.config.window_seconds
+        return sum(1 for t in state.timestamps if t > horizon)

@@ -1,0 +1,76 @@
+"""Synthetic world generation.
+
+Builds the populations the paper measured: schools with four cohorts
+and churn, alumni back-catalogues, parents, city residents and a large
+external pool; applies OSN adoption and the COPPA age-lying model; and
+wires a calibrated friendship graph.  The result is a :class:`World`
+with an attackable OSN frontend and evaluator-only ground truth.
+"""
+
+from .accounts import AccountFactory, AccountIndex
+from .activity import ActivityBuilder
+from .config import (
+    ActivityConfig,
+    AdoptionConfig,
+    AlumniBehaviorConfig,
+    ExternalPoolConfig,
+    FamilyConfig,
+    FriendshipConfig,
+    LyingConfig,
+    OsnParamsConfig,
+    SchoolConfig,
+    StudentBehaviorConfig,
+    WorldConfig,
+)
+from .lying import RegistrationPlan, expected_registered_adult_fraction, plan_registration
+from .names import NameSampler
+from .population import Person, Population, PopulationBuilder, Role, build_population
+from .presets import PRESETS, hs1, hs2, hs3, preset, tiny
+from .calibration import CalibrationReport, CalibrationRow, calibrate
+from .export import export_world_json, load_world_export, world_summary
+from .records import VoterRecord, VoterRegistry, build_voter_registry
+from .world import SchoolGroundTruth, World, build_world
+
+__all__ = [
+    "AccountFactory",
+    "AccountIndex",
+    "ActivityBuilder",
+    "ActivityConfig",
+    "AdoptionConfig",
+    "AlumniBehaviorConfig",
+    "CalibrationReport",
+    "CalibrationRow",
+    "ExternalPoolConfig",
+    "FamilyConfig",
+    "FriendshipConfig",
+    "LyingConfig",
+    "NameSampler",
+    "OsnParamsConfig",
+    "PRESETS",
+    "Person",
+    "Population",
+    "PopulationBuilder",
+    "RegistrationPlan",
+    "Role",
+    "SchoolConfig",
+    "SchoolGroundTruth",
+    "StudentBehaviorConfig",
+    "VoterRecord",
+    "VoterRegistry",
+    "World",
+    "WorldConfig",
+    "build_population",
+    "calibrate",
+    "build_voter_registry",
+    "build_world",
+    "export_world_json",
+    "load_world_export",
+    "expected_registered_adult_fraction",
+    "hs1",
+    "hs2",
+    "hs3",
+    "plan_registration",
+    "preset",
+    "tiny",
+    "world_summary",
+]

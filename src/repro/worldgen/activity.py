@@ -1,0 +1,87 @@
+"""Interaction activity: wall posts authored by friends.
+
+Runs after friendship wiring.  Every adult-registered student and every
+alumnus accumulates wall posts whose authors are sampled from their
+friends, skewed toward same-school friends (interaction strength tracks
+social closeness, per Wilson et al. and Viswanath et al. — the papers
+the study cites as the basis for interaction-graph optimizations).
+
+The posts surface on profile pages whenever the wall is visible to the
+viewer, giving the attacker the observable interaction graph that
+``repro.core.interaction`` exploits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set
+
+from repro.osn.network import SocialNetwork
+from repro.osn.profile import WallPost
+
+from .accounts import AccountIndex
+from .config import WorldConfig
+from .population import Population, Role
+
+
+class ActivityBuilder:
+    """Populates wall posts for accounts that have friends."""
+
+    def __init__(
+        self,
+        config: WorldConfig,
+        population: Population,
+        network: SocialNetwork,
+        index: AccountIndex,
+        rng: random.Random,
+    ) -> None:
+        self.config = config
+        self.population = population
+        self.network = network
+        self.index = index
+        self.rng = rng
+
+    def build(self) -> int:
+        """Generate wall posts; returns the number created."""
+        school_people = self._school_affiliated_uids()
+        created = 0
+        now = self.network.clock.now_year
+        for role in (Role.STUDENT, Role.FORMER_STUDENT, Role.ALUMNUS):
+            for pid in self.population.ids_with_role(role):
+                uid = self.index.user_for(pid)
+                if uid is None:
+                    continue
+                account = self.network.users[uid]
+                if account.is_registered_minor(now):
+                    continue  # minors' walls are never stranger-visible anyway
+                created += self._fill_wall(uid, school_people)
+        return created
+
+    def _school_affiliated_uids(self) -> Set[int]:
+        uids: Set[int] = set()
+        for role in (Role.STUDENT, Role.FORMER_STUDENT, Role.ALUMNUS):
+            for pid in self.population.ids_with_role(role):
+                uid = self.index.user_for(pid)
+                if uid is not None:
+                    uids.add(uid)
+        return uids
+
+    def _fill_wall(self, uid: int, school_people: Set[int]) -> int:
+        cfg = self.config.activity
+        friends = self.network.graph.neighbors_list(uid)
+        if not friends:
+            return 0
+        count = int(self.rng.expovariate(1.0 / cfg.wall_post_mean)) if cfg.wall_post_mean > 0 else 0
+        if count == 0:
+            return 0
+        weights = [
+            cfg.school_author_weight if friend in school_people else 1.0
+            for friend in friends
+        ]
+        authors = self.rng.choices(friends, weights=weights, k=count)
+        account = self.network.users[uid]
+        account.profile.wall_posts = [
+            WallPost(author_id=author, text=f"wall post {i}")
+            for i, author in enumerate(authors)
+        ]
+        return count

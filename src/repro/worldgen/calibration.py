@@ -1,0 +1,142 @@
+"""Calibration validation: does a world match its own behaviour targets?
+
+Preset configs declare the Table-5-style behaviour distributions
+(public friend lists, searchability, message buttons, photo volumes for
+adult-registered students).  This module *measures* those quantities on
+a built world and compares them with the declared targets, so preset
+tuning is a closed loop and regressions in the generator show up as
+calibration drift rather than as mysterious attack-quality changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import List
+
+from repro.osn.privacy import Audience, ProfileField
+
+from .world import World
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """One measured-vs-target comparison."""
+
+    metric: str
+    target: float
+    measured: float
+
+    @property
+    def deviation(self) -> float:
+        return self.measured - self.target
+
+    @property
+    def within(self) -> bool:
+        """Inside an absolute tolerance scaled to the metric's size."""
+        tolerance = max(0.08, 0.25 * abs(self.target))
+        return abs(self.deviation) <= tolerance
+
+
+@dataclass
+class CalibrationReport:
+    """All measured-vs-target rows for one world."""
+
+    rows: List[CalibrationRow]
+
+    def failing(self) -> List[CalibrationRow]:
+        return [row for row in self.rows if not row.within]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failing()
+
+    def describe(self) -> str:
+        lines = ["calibration report:"]
+        for row in self.rows:
+            flag = "ok " if row.within else "OFF"
+            lines.append(
+                f"  [{flag}] {row.metric}: target {row.target:.3f}, "
+                f"measured {row.measured:.3f} ({row.deviation:+.3f})"
+            )
+        return "\n".join(lines)
+
+
+def calibrate(world: World, school_index: int = 0) -> CalibrationReport:
+    """Measure a built world against its config's behaviour targets."""
+    config = world.config
+    net = world.network
+    adult_students = [
+        net.users[uid] for uid in world.adult_registered_students(school_index)
+    ]
+    rows: List[CalibrationRow] = []
+
+    if adult_students:
+        def fraction(predicate) -> float:
+            return sum(1 for a in adult_students if predicate(a)) / len(adult_students)
+
+        students_cfg = config.students
+        rows.append(
+            CalibrationRow(
+                "adult students: public friend list",
+                students_cfg.p_adult_friend_list_public,
+                fraction(
+                    lambda a: a.settings.audience_for(ProfileField.FRIEND_LIST)
+                    is Audience.PUBLIC
+                ),
+            )
+        )
+        rows.append(
+            CalibrationRow(
+                "adult students: public search",
+                students_cfg.p_adult_public_search,
+                fraction(lambda a: a.settings.public_search),
+            )
+        )
+        rows.append(
+            CalibrationRow(
+                "adult students: message button public",
+                students_cfg.p_adult_message_public,
+                fraction(
+                    lambda a: a.settings.message_audience is Audience.PUBLIC
+                ),
+            )
+        )
+        rows.append(
+            CalibrationRow(
+                "adult students: relationship listed",
+                students_cfg.p_adult_relationship,
+                fraction(lambda a: a.profile.relationship_status is not None),
+            )
+        )
+        rows.append(
+            CalibrationRow(
+                "adult students: interested-in listed",
+                students_cfg.p_adult_interested_in,
+                fraction(lambda a: a.profile.interested_in is not None),
+            )
+        )
+        rows.append(
+            CalibrationRow(
+                "adult students: mean photos",
+                students_cfg.adult_photo_mean,
+                mean(a.profile.photo_count for a in adult_students),
+            )
+        )
+        rows.append(
+            CalibrationRow(
+                "adult students: school listed",
+                students_cfg.p_list_school,
+                fraction(lambda a: bool(a.profile.high_schools)),
+            )
+        )
+
+    truth = world.ground_truth(school_index)
+    rows.append(
+        CalibrationRow(
+            "students: OSN adoption",
+            config.adoption.p_student,
+            truth.on_osn_count / truth.enrolled_count if truth.enrolled_count else 0.0,
+        )
+    )
+    return CalibrationReport(rows=rows)

@@ -1,0 +1,269 @@
+"""Configuration tree for the synthetic world generator.
+
+Every knob that shapes the population — school sizes, churn, the
+COPPA age-lying model, privacy-setting behaviour, friendship densities,
+OSN adoption — is an explicit dataclass field here, so the presets in
+``repro.worldgen.presets`` can be calibrated against the magnitudes the
+paper reports (Tables 2, 4 and 5) and the ablation benchmarks can sweep
+individual parameters (e.g. the lying rate) while holding the rest
+fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SchoolConfig:
+    """One high school and its demographic context.
+
+    ``enrollment`` is the current student-body size (split evenly over
+    four cohorts).  ``alumni_cohorts`` controls how many past graduating
+    classes exist in the population — alumni dominate the seed sets the
+    Find Friends Portal returns.  ``churn_out_rate`` is the fraction of
+    each cohort that transferred away (HS1 has 10–20% annual churn,
+    Section 5.1); such former students are the main source of
+    hard-to-filter false positives.  ``transfer_in_rate`` marks current
+    students who arrived recently and therefore have fewer in-school
+    friendships.
+    """
+
+    name: str
+    city: str
+    enrollment: int = 360
+    cohorts: int = 4
+    alumni_cohorts: int = 8
+    churn_out_rate: float = 0.12
+    transfer_in_rate: float = 0.08
+    enrollment_hint: Optional[int] = None  # what "Wikipedia" reports
+
+    @property
+    def cohort_size(self) -> int:
+        return max(1, self.enrollment // self.cohorts)
+
+
+@dataclass(frozen=True)
+class LyingConfig:
+    """The COPPA-circumvention age-lying model (paper, Section 1).
+
+    Children who want to join before age 13 either lie (probability
+    ``p_lie_if_under_13``) or wait until they turn 13 and register
+    truthfully.  Liars claim an age drawn from three buckets: exactly 13
+    (just clearing the ban), a mid-teen age, or 18+ ("may even say he is
+    over 18").  The claimed age at creation, plus elapsed time, decides
+    whether the OSN sees the student as an adult *today* — the paper's
+    entire attack surface.
+
+    ``enabled=False`` models the without-COPPA world of Section 7:
+    everyone registers with their real birth date (and the network is
+    built with the age ban disabled).
+    """
+
+    enabled: bool = True
+    p_lie_if_under_13: float = 0.80
+    claim_13_weight: float = 0.40
+    claim_midteen_weight: float = 0.12
+    claim_adult_weight: float = 0.48
+    midteen_claim_range: Tuple[float, float] = (14.0, 17.0)
+    adult_claim_range: Tuple[float, float] = (18.0, 22.0)
+    join_age_range: Tuple[float, float] = (10.5, 13.5)
+    earliest_creation_year: float = 2006.0
+
+    def claim_weights(self) -> Tuple[float, float, float]:
+        total = self.claim_13_weight + self.claim_midteen_weight + self.claim_adult_weight
+        if total <= 0:
+            raise ValueError("claim weights must sum to a positive value")
+        return (
+            self.claim_13_weight / total,
+            self.claim_midteen_weight / total,
+            self.claim_adult_weight / total,
+        )
+
+
+@dataclass(frozen=True)
+class StudentBehaviorConfig:
+    """Profile/privacy behaviour of current students on the OSN.
+
+    Split by what the OSN believes: students *registered as adults* get
+    adult defaults and behave like the Table-5 column (often public
+    friend lists, message button, photos); students *registered as
+    minors* are capped by policy no matter what they choose.
+    ``p_list_school`` / ``p_list_grad_year`` control how many students
+    self-identify — the pipeline that produces the paper's core sets.
+    """
+
+    p_list_school: float = 0.55
+    p_list_grad_year: float = 0.85
+    # --- registered-as-adult students (Table 5 targets) ---
+    p_adult_friend_list_public: float = 0.77
+    p_adult_public_search: float = 0.80
+    p_adult_message_public: float = 0.88
+    p_adult_relationship: float = 0.26
+    p_adult_interested_in: float = 0.22
+    p_adult_birthday_public: float = 0.05
+    adult_photo_mean: float = 45.0
+    # --- registered-minor students ---
+    p_minor_friend_list_friends_only: float = 0.5  # vs. FoF default
+    minor_photo_mean: float = 25.0
+    # --- shared ---
+    p_current_city: float = 0.45
+    p_network_listed: float = 0.08  # <10% of registered minors specify network
+
+
+@dataclass(frozen=True)
+class AlumniBehaviorConfig:
+    """Behaviour of alumni (the bulk of every seed set)."""
+
+    p_list_school: float = 0.60
+    p_list_grad_year: float = 0.90
+    p_friend_list_public: float = 0.70
+    p_public_search: float = 0.90
+    p_graduate_school: float = 0.30
+    p_employer: float = 0.35
+    p_moved_away: float = 0.45
+    p_current_city: float = 0.75
+    photo_mean: float = 60.0
+
+
+@dataclass(frozen=True)
+class FamilyConfig:
+    """Parents: OSN presence and friending of their children."""
+
+    p_parent_on_osn: float = 0.45
+    p_parent_friends_child: float = 0.60
+    p_parent_lists_city: float = 0.70
+    p_two_parents: float = 0.55
+
+
+@dataclass(frozen=True)
+class ExternalPoolConfig:
+    """Non-school users: the dilution that makes candidate sets large.
+
+    ``size`` is the pool students and alumni draw outside friends from;
+    its magnitude (relative to per-user external degree) controls how
+    many distinct candidates the attack must sift (paper: candidates are
+    about an order of magnitude more numerous than the school).
+    Composition fractions shape the COPPA-less analysis: minimal-profile
+    externals are what floods the Section-7 heuristic with false
+    positives.
+    """
+
+    size: int = 8000
+    p_registered_minor: float = 0.12
+    p_locked_down_adult: float = 0.25
+    p_friend_list_public_adult: float = 0.70
+    #: fraction of external adults who list some *other* high school on
+    #: their profile (what the different-high-school filter rule catches)
+    p_lists_other_school: float = 0.30
+
+
+@dataclass(frozen=True)
+class FriendshipConfig:
+    """Edge-formation probabilities by group pair.
+
+    Within-school densities fall off with cohort gap; student–alumni
+    ties decay with graduation-gap years (these power the Section-7
+    "natural approach").  External degrees are lognormal — the paper's
+    core users average ~400–960 total friends.
+    """
+
+    p_same_cohort: float = 0.38
+    p_adjacent_cohort: float = 0.07
+    p_two_cohort_gap: float = 0.025
+    p_three_cohort_gap: float = 0.01
+    p_student_alumni_base: float = 0.05
+    student_alumni_decay: float = 0.45  # multiplied per extra gap year
+    p_alumni_same_cohort: float = 0.12
+    p_alumni_adjacent_cohort: float = 0.03
+    student_external_median: float = 110.0
+    student_external_sigma: float = 0.55
+    alumni_external_median: float = 160.0
+    alumni_external_sigma: float = 0.55
+    parent_external_median: float = 40.0
+    parent_external_sigma: float = 0.6
+    tenure_overlap_years: float = 0.75  # years of overlap for full edge prob
+
+
+@dataclass(frozen=True)
+class ActivityConfig:
+    """Wall-post interaction activity (refs [25,26] of the paper).
+
+    Adult-registered students and alumni accumulate wall posts written
+    by their friends; authorship skews toward same-school friends by
+    ``school_author_weight``.  Publicly visible walls give the attacker
+    an *interaction graph* — the optimization signal the paper lists as
+    future work and which ``repro.core.interaction`` implements.
+    """
+
+    wall_post_mean: float = 8.0
+    p_wall_public: float = 0.40
+    school_author_weight: float = 3.0
+
+
+@dataclass(frozen=True)
+class AdoptionConfig:
+    """Who has an account at all (Pew: 73% of teens; ~90% here, per HS1)."""
+
+    p_student: float = 0.90
+    p_former_student: float = 0.85
+    p_alumnus: float = 0.65
+
+
+@dataclass(frozen=True)
+class OsnParamsConfig:
+    """Site-side parameters of the simulated OSN."""
+
+    search_result_cap: int = 240
+    search_page_size: int = 20
+    friends_page_size: int = 20
+    rate_limit_max_requests: int = 30
+    rate_limit_window_seconds: float = 60.0
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """The complete recipe for one synthetic world."""
+
+    seed: int = 1
+    observation_year: float = 2012.25
+    city_name: str = "Springfield"
+    schools: Tuple[SchoolConfig, ...] = (SchoolConfig("Central High School", "Springfield"),)
+    lying: LyingConfig = field(default_factory=LyingConfig)
+    students: StudentBehaviorConfig = field(default_factory=StudentBehaviorConfig)
+    alumni: AlumniBehaviorConfig = field(default_factory=AlumniBehaviorConfig)
+    family: FamilyConfig = field(default_factory=FamilyConfig)
+    externals: ExternalPoolConfig = field(default_factory=ExternalPoolConfig)
+    friendship: FriendshipConfig = field(default_factory=FriendshipConfig)
+    activity: ActivityConfig = field(default_factory=ActivityConfig)
+    adoption: AdoptionConfig = field(default_factory=AdoptionConfig)
+    osn: OsnParamsConfig = field(default_factory=OsnParamsConfig)
+    site: str = "facebook"
+    enforce_minimum_age: bool = True
+
+    def without_coppa(self) -> "WorldConfig":
+        """The Section-7 counterfactual: no age ban, no lying.
+
+        Everyone registers with their real birth date and under-13
+        registration is permitted; the OSN's *minor privacy policy* is
+        unchanged (the paper's assumption (i)/(ii) in Section 7).
+        """
+        return replace(
+            self,
+            lying=replace(self.lying, enabled=False),
+            enforce_minimum_age=False,
+        )
+
+    def with_seed(self, seed: int) -> "WorldConfig":
+        return replace(self, seed=seed)
+
+    def validate(self) -> None:
+        if not self.schools:
+            raise ValueError("a world needs at least one school")
+        for school in self.schools:
+            if school.enrollment <= 0:
+                raise ValueError(f"school {school.name!r} has no students")
+            if school.cohorts != 4:
+                raise ValueError("the methodology assumes four-year high schools")
+        self.lying.claim_weights()  # raises on bad weights

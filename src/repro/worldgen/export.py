@@ -1,0 +1,131 @@
+"""World/dataset export.
+
+The paper's authors could not release their data ("because of the
+sensitive nature of the information we gathered ... we will not be
+making our data sets public"), publishing only aggregates.  Our worlds
+are synthetic, so both modes exist:
+
+* :func:`world_summary` — the aggregate view the paper could publish:
+  population counts, lying statistics, privacy-setting distributions,
+  degree statistics;
+* :func:`export_world_json` — a full (synthetic, hence safe) dump of
+  people, accounts and edges for reuse by other tools, or just the
+  aggregates when ``include_individuals=False``.
+"""
+
+from __future__ import annotations
+
+import json
+from statistics import mean
+from typing import Any, Dict, List
+
+from repro.osn.privacy import Audience, ProfileField
+
+from .population import Role
+from .world import World
+
+
+def world_summary(world: World) -> Dict[str, Any]:
+    """Aggregate statistics (everything the paper-style ethics allow)."""
+    net = world.network
+    now = net.clock.now_year
+    population = world.population
+
+    role_counts = {
+        role.value: len(population.ids_with_role(role)) for role in Role
+    }
+    accounts = [a for a in net.users.values() if not a.is_fake]
+    liars = [a for a in accounts if a.lied_about_age()]
+    registered_minors = [a for a in accounts if a.is_registered_minor(now)]
+
+    student_stats: List[Dict[str, Any]] = []
+    for index, truth in enumerate(world.ground_truths):
+        adult_reg = world.adult_registered_students(index)
+        minimal = world.minimal_profile_students(index)
+        student_stats.append(
+            {
+                "school": truth.school.name,
+                "enrolled": truth.enrolled_count,
+                "on_osn": truth.on_osn_count,
+                "registered_adult_students": len(adult_reg),
+                "minimal_profile_students": len(minimal),
+                "students_by_year": {
+                    str(year): len(uids)
+                    for year, uids in truth.student_uids_by_year.items()
+                },
+            }
+        )
+
+    degrees = [net.graph.degree(uid) for uid in net.users if not net.users[uid].is_fake]
+    public_friend_lists = sum(
+        1
+        for a in accounts
+        if a.settings.audience_for(ProfileField.FRIEND_LIST) is Audience.PUBLIC
+    )
+    return {
+        "seed": world.config.seed,
+        "observation_year": world.config.observation_year,
+        "site": world.config.site,
+        "population_by_role": role_counts,
+        "accounts": len(accounts),
+        "age_liars": len(liars),
+        "age_liar_fraction": len(liars) / len(accounts) if accounts else 0.0,
+        "registered_minors": len(registered_minors),
+        "edges": net.graph.edge_count(),
+        "mean_degree": mean(degrees) if degrees else 0.0,
+        "public_friend_list_fraction": (
+            public_friend_lists / len(accounts) if accounts else 0.0
+        ),
+        "schools": student_stats,
+    }
+
+
+def export_world_json(
+    world: World, path: str, include_individuals: bool = False
+) -> Dict[str, Any]:
+    """Write a world snapshot to ``path``; returns what was written.
+
+    With ``include_individuals`` the dump adds per-account records
+    (names, real and registered birth years, role, school claims) and
+    the full edge list — meaningful only because every person is
+    synthetic.
+    """
+    document: Dict[str, Any] = {"summary": world_summary(world)}
+    if include_individuals:
+        net = world.network
+        users = []
+        for uid, account in sorted(net.users.items()):
+            if account.is_fake:
+                continue
+            person = (
+                world.population.person(account.person_id)
+                if account.person_id is not None
+                else None
+            )
+            affiliation = account.profile.primary_high_school()
+            users.append(
+                {
+                    "user_id": uid,
+                    "name": account.profile.name.full,
+                    "role": person.role.value if person else None,
+                    "real_birth_year": account.real_birthday.year,
+                    "registered_birth_year": account.registered_birthday.year,
+                    "lied": account.lied_about_age(),
+                    "school_id": affiliation.school_id if affiliation else None,
+                    "graduation_year": (
+                        affiliation.graduation_year if affiliation else None
+                    ),
+                    "degree": net.graph.degree(uid),
+                }
+            )
+        document["users"] = users
+        document["edges"] = [[a, b] for a, b in sorted(net.graph.edges())]
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+    return document
+
+
+def load_world_export(path: str) -> Dict[str, Any]:
+    """Read back a snapshot written by :func:`export_world_json`."""
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,145 @@
+"""The COPPA age-lying model: when people join and what age they claim.
+
+This is the causal heart of the paper.  Under COPPA-driven bans, a child
+who wants to join before 13 either lies about their birth year or waits.
+Liars claim 13, a mid-teen age, or 18+; years later the claimed age has
+aged forward with them, so a large fraction of *current high-school
+students* read as adults to the OSN — searchable, messageable, and with
+adult privacy defaults.
+
+In the without-COPPA counterfactual (``LyingConfig.enabled = False``)
+everyone registers with their real birth date at their natural join age
+and the under-13 ban is not enforced.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.osn.profile import Birthday
+
+from .config import LyingConfig
+from .population import Person, Role
+
+
+@dataclass(frozen=True)
+class RegistrationPlan:
+    """When an account is created and what birth date it registers."""
+
+    creation_year: float
+    registered_birthday: Birthday
+    lied: bool
+
+    def registered_age_at(self, year: float) -> float:
+        return year - self.registered_birthday.as_year_fraction
+
+
+def _truthful_birthday(person: Person, rng: random.Random) -> Birthday:
+    year = int(person.birth_year_fraction)
+    return Birthday(year=year, fraction=person.birth_year_fraction - year)
+
+
+def _natural_join_year(
+    person: Person, config: LyingConfig, observation_year: float, rng: random.Random
+) -> float:
+    """When this person would naturally have wanted an account.
+
+    School-aged people want to join in the tween years; people who were
+    already past that when the site launched joined some years after
+    launch instead.
+    """
+    join_age = rng.uniform(*config.join_age_range)
+    natural = person.birth_year_fraction + join_age
+    if natural < config.earliest_creation_year:
+        natural = config.earliest_creation_year + rng.uniform(0.0, 5.0)
+    return min(natural, observation_year - 0.05)
+
+
+def _claimed_age(config: LyingConfig, rng: random.Random) -> float:
+    """The age a lying child claims at sign-up."""
+    w13, wmid, wadult = config.claim_weights()
+    roll = rng.random()
+    if roll < w13:
+        return 13.0 + rng.uniform(0.0, 0.5)
+    if roll < w13 + wmid:
+        return rng.uniform(*config.midteen_claim_range)
+    return rng.uniform(*config.adult_claim_range)
+
+
+def plan_registration(
+    person: Person,
+    config: LyingConfig,
+    observation_year: float,
+    rng: random.Random,
+) -> Optional[RegistrationPlan]:
+    """Decide creation year and registered birth date for one person.
+
+    Returns ``None`` when the person cannot have an account yet (too
+    young to register truthfully and chose not to lie, with the deferred
+    date still in the future).
+    """
+    join_year = _natural_join_year(person, config, observation_year, rng)
+    age_at_join = join_year - person.birth_year_fraction
+
+    if not config.enabled:
+        # Without-COPPA world: truthful registration at the natural age.
+        return RegistrationPlan(
+            creation_year=join_year,
+            registered_birthday=_truthful_birthday(person, rng),
+            lied=False,
+        )
+
+    if age_at_join >= 13.0:
+        return RegistrationPlan(
+            creation_year=join_year,
+            registered_birthday=_truthful_birthday(person, rng),
+            lied=False,
+        )
+
+    if rng.random() < config.p_lie_if_under_13:
+        claimed = _claimed_age(config, rng)
+        registered = join_year - claimed
+        year = int(registered)
+        return RegistrationPlan(
+            creation_year=join_year,
+            registered_birthday=Birthday(year=year, fraction=registered - year),
+            lied=True,
+        )
+
+    # Waits until turning 13, then registers truthfully.
+    deferred = person.birth_year_fraction + 13.0 + rng.uniform(0.0, 0.3)
+    if deferred >= observation_year:
+        return None
+    return RegistrationPlan(
+        creation_year=deferred,
+        registered_birthday=_truthful_birthday(person, rng),
+        lied=False,
+    )
+
+
+def expected_registered_adult_fraction(
+    config: LyingConfig, real_age_now: float, years_since_join: float
+) -> float:
+    """Analytic helper: P(registered adult now) for a student.
+
+    Used by calibration tests to sanity-check the lying model: a student
+    who joined ``years_since_join`` ago claiming age ``c`` reads as
+    ``c + years_since_join`` today.  The probability mass above 18 is
+    accumulated over the claim buckets.
+    """
+    if not config.enabled:
+        return 1.0 if real_age_now >= 18.0 else 0.0
+    w13, wmid, wadult = config.claim_weights()
+    mass = 0.0
+    if 13.25 + years_since_join >= 18.0:
+        mass += w13
+    mid_lo, mid_hi = config.midteen_claim_range
+    mid_mid = (mid_lo + mid_hi) / 2.0
+    if mid_mid + years_since_join >= 18.0:
+        mass += wmid
+    mass += wadult
+    truthful_adult = 1.0 if real_age_now >= 18.0 else 0.0
+    p_lied = config.p_lie_if_under_13
+    return p_lied * mass + (1.0 - p_lied) * truthful_adult

@@ -1,0 +1,131 @@
+"""Deterministic synthetic name generation.
+
+The population generator needs plausible, *reproducible* names so that
+crawled pages, stored profiles and reports read like a real study while
+the whole world remains a function of one RNG seed.  Names are sampled
+from fixed frequency-weighted pools; duplicates occur naturally, which
+matters because the paper notes name collisions complicate ground-truth
+matching.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.osn.profile import Gender, Name
+
+FEMALE_FIRST = (
+    "Emma", "Olivia", "Sophia", "Isabella", "Ava", "Emily", "Abigail",
+    "Madison", "Mia", "Chloe", "Elizabeth", "Ella", "Addison", "Natalie",
+    "Lily", "Grace", "Samantha", "Avery", "Sofia", "Aubrey", "Brooklyn",
+    "Lillian", "Victoria", "Evelyn", "Hannah", "Alexis", "Charlotte",
+    "Zoey", "Leah", "Amelia", "Zoe", "Hailey", "Layla", "Gabriella",
+    "Nevaeh", "Kaylee", "Alyssa", "Anna", "Sarah", "Allison", "Savannah",
+    "Ashley", "Audrey", "Taylor", "Brianna", "Aaliyah", "Riley", "Camila",
+    "Khloe", "Claire", "Sophie", "Arianna", "Peyton", "Harper", "Alexa",
+    "Makayla", "Julia", "Kylie", "Kayla", "Bella", "Katherine", "Lauren",
+    "Gianna", "Maya", "Sydney", "Serenity", "Kimberly", "Mackenzie",
+    "Autumn", "Jocelyn", "Faith", "Lucy", "Stella", "Jasmine", "Morgan",
+    "Alexandra", "Trinity", "Molly", "Madelyn", "Scarlett", "Andrea",
+    "Genesis", "Eva", "Ariana", "Madeline", "Brooke", "Caroline", "Bailey",
+    "Melanie", "Kennedy", "Destiny", "Maria", "Naomi", "London", "Payton",
+    "Lydia", "Ellie", "Mariah", "Aubree", "Kaitlyn", "Violet", "Rylee",
+    "Lilly", "Angelina", "Katelyn", "Mya", "Paige", "Natalia", "Ruby",
+    "Piper", "Annabelle", "Mary", "Jade", "Isabelle", "Liliana", "Nicole",
+    "Rachel", "Vanessa", "Gabrielle", "Jessica", "Jordyn", "Reagan",
+    "Kendall", "Sadie", "Valeria", "Brielle", "Lyla", "Izabella",
+)
+
+MALE_FIRST = (
+    "Jacob", "Mason", "William", "Jayden", "Noah", "Michael", "Ethan",
+    "Alexander", "Aiden", "Daniel", "Anthony", "Matthew", "Elijah",
+    "Joshua", "Liam", "Andrew", "James", "David", "Benjamin", "Logan",
+    "Christopher", "Joseph", "Jackson", "Gabriel", "Ryan", "Samuel",
+    "John", "Nathan", "Lucas", "Christian", "Jonathan", "Caleb", "Dylan",
+    "Landon", "Isaac", "Gavin", "Brayden", "Tyler", "Luke", "Evan",
+    "Carter", "Nicholas", "Isaiah", "Owen", "Jack", "Jordan", "Brandon",
+    "Wyatt", "Julian", "Aaron", "Jeremiah", "Kevin", "Hunter", "Cameron",
+    "Connor", "Thomas", "Zachary", "Jaxon", "Henry", "Charles", "Adrian",
+    "Eli", "Austin", "Robert", "Sebastian", "Xavier", "Jose", "Colton",
+    "Dominic", "Cooper", "Brody", "Nolan", "Easton", "Blake", "Adam",
+    "Carson", "Alex", "Levi", "Tristan", "Juan", "Justin", "Diego",
+    "Bryson", "Damian", "Grayson", "Miles", "Oliver", "Parker", "Hayden",
+    "Jason", "Ian", "Carlos", "Chase", "Josiah", "Vincent", "Cole",
+    "Ayden", "Brady", "Luis", "Micah", "Kayden", "Jesus", "Bentley",
+    "Sean", "Alejandro", "Kyle", "Marcus", "Max", "Preston", "Riley",
+    "Antonio", "Bryce", "Asher", "Leo", "Victor", "Maxwell", "Brian",
+    "Edward", "Patrick", "Declan", "Derek", "Eric", "Miguel", "Steven",
+    "Timothy", "Jaden", "Emmanuel", "Giovanni", "Richard",
+)
+
+LAST_NAMES = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Miller", "Davis",
+    "Garcia", "Rodriguez", "Wilson", "Martinez", "Anderson", "Taylor",
+    "Thomas", "Hernandez", "Moore", "Martin", "Jackson", "Thompson",
+    "White", "Lopez", "Lee", "Gonzalez", "Harris", "Clark", "Lewis",
+    "Robinson", "Walker", "Perez", "Hall", "Young", "Allen", "Sanchez",
+    "Wright", "King", "Scott", "Green", "Baker", "Adams", "Nelson",
+    "Hill", "Ramirez", "Campbell", "Mitchell", "Roberts", "Carter",
+    "Phillips", "Evans", "Turner", "Torres", "Parker", "Collins",
+    "Edwards", "Stewart", "Flores", "Morris", "Nguyen", "Murphy",
+    "Rivera", "Cook", "Rogers", "Morgan", "Peterson", "Cooper", "Reed",
+    "Bailey", "Bell", "Gomez", "Kelly", "Howard", "Ward", "Cox", "Diaz",
+    "Richardson", "Wood", "Watson", "Brooks", "Bennett", "Gray", "James",
+    "Reyes", "Cruz", "Hughes", "Price", "Myers", "Long", "Foster",
+    "Sanders", "Ross", "Morales", "Powell", "Sullivan", "Russell",
+    "Ortiz", "Jenkins", "Gutierrez", "Perry", "Butler", "Barnes",
+    "Fisher", "Henderson", "Coleman", "Simmons", "Patterson", "Jordan",
+    "Reynolds", "Hamilton", "Graham", "Kim", "Gonzales", "Alexander",
+    "Ramos", "Wallace", "Griffin", "West", "Cole", "Hayes", "Chavez",
+    "Gibson", "Bryant", "Ellis", "Stevens", "Murray", "Ford", "Marshall",
+    "Owens", "Mcdonald", "Harrison", "Ruiz", "Kennedy", "Wells",
+    "Alvarez", "Woods", "Mendoza", "Castillo", "Olson", "Webb",
+    "Washington", "Tucker", "Freeman", "Burns", "Henry", "Vasquez",
+    "Snyder", "Simpson", "Crawford", "Jimenez", "Porter", "Mason",
+    "Shaw", "Gordon", "Wagner", "Hunter", "Romero", "Hicks", "Dixon",
+    "Hunt", "Palmer", "Robertson", "Black", "Holmes", "Stone", "Meyer",
+    "Boyd", "Mills", "Warren", "Fox", "Rose", "Rice", "Moreno",
+    "Schmidt", "Patel", "Ferguson", "Nichols", "Herrera", "Medina",
+    "Ryan", "Fernandez", "Weaver", "Daniels", "Stephens", "Gardner",
+    "Payne", "Kelley", "Dunn", "Pierce", "Arnold", "Tran", "Spencer",
+    "Peters", "Hawkins", "Grant", "Hansen", "Castro", "Hoffman",
+    "Hart", "Elliott", "Cunningham", "Knight", "Bradley", "Carroll",
+    "Hudson", "Duncan", "Armstrong", "Berry", "Andrews", "Johnston",
+    "Ray", "Lane", "Riley", "Carpenter", "Perkins", "Aguilar", "Silva",
+    "Richards", "Willis", "Matthews", "Chapman", "Lawrence", "Garza",
+    "Vargas", "Watkins", "Wheeler", "Larson", "Carlson", "Harper",
+    "George", "Greene", "Burke", "Guzman", "Morrison", "Munoz", "Jacobs",
+    "Obrien", "Lawson", "Franklin", "Lynch", "Bishop", "Carr", "Salazar",
+    "Austin", "Mendez", "Gilbert", "Jensen", "Williamson", "Montgomery",
+    "Harvey", "Oliver", "Howell", "Dean", "Hanson", "Weber", "Garrett",
+    "Sims", "Burton", "Fuller", "Soto", "Mccoy", "Welch", "Chen",
+)
+
+
+class NameSampler:
+    """Samples gendered names deterministically from a shared RNG."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def gender(self) -> Gender:
+        """A person's gender, roughly balanced."""
+        return Gender.FEMALE if self._rng.random() < 0.5 else Gender.MALE
+
+    def first_name(self, gender: Gender) -> str:
+        pool = FEMALE_FIRST if gender is Gender.FEMALE else MALE_FIRST
+        return self._rng.choice(pool)
+
+    def last_name(self) -> str:
+        return self._rng.choice(LAST_NAMES)
+
+    def sample(self, gender: Gender | None = None) -> Tuple[Name, Gender]:
+        """A (name, gender) pair; gender drawn if not supplied."""
+        resolved = gender if gender is not None else self.gender()
+        first = self.first_name(resolved)
+        return Name(first, self.last_name()), resolved
+
+    def family_surname(self) -> str:
+        """A surname shared by a household (students and their parents)."""
+        return self.last_name()

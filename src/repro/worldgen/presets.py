@@ -1,0 +1,194 @@
+"""Calibrated world presets mirroring the paper's three high schools.
+
+* ``hs1`` — a small private urban school (362 students, high churn,
+  complete ground truth in the paper).
+* ``hs2`` — a large public suburban school (~1,500 students).
+* ``hs3`` — a large public school in a small mid-western city.
+* ``tiny`` — a fast, scaled-down world for unit tests.
+
+Calibration targets (orders of magnitude, per the paper's Tables 2, 4
+and 5): ~90% of students on the OSN; 30–55% of students registered as
+adults; core users ≈ 5% of the school; candidates ≈ one order of
+magnitude above school size; ~75–90% of adult-registered students with
+public friend lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .config import (
+    AdoptionConfig,
+    ExternalPoolConfig,
+    FriendshipConfig,
+    LyingConfig,
+    OsnParamsConfig,
+    SchoolConfig,
+    StudentBehaviorConfig,
+    WorldConfig,
+)
+
+
+def hs1(seed: int = 101) -> WorldConfig:
+    """HS1: small private urban school, ~360 students, 10-20% churn."""
+    return WorldConfig(
+        seed=seed,
+        observation_year=2012.25,
+        city_name="Eastport",
+        schools=(
+            SchoolConfig(
+                name="St. Anselm Preparatory School",
+                city="Eastport",
+                enrollment=362,
+                alumni_cohorts=9,
+                churn_out_rate=0.35,
+                transfer_in_rate=0.10,
+            ),
+        ),
+        lying=LyingConfig(
+            p_lie_if_under_13=0.80,
+            claim_13_weight=0.24,
+            claim_midteen_weight=0.16,
+            claim_adult_weight=0.60,
+        ),
+        students=StudentBehaviorConfig(
+            p_list_school=0.32,
+            p_adult_friend_list_public=0.73,
+            p_adult_public_search=0.71,
+            p_adult_message_public=0.89,
+            p_adult_relationship=0.15,
+            p_adult_interested_in=0.13,
+            p_adult_birthday_public=0.09,
+            adult_photo_mean=19.0,
+        ),
+        externals=ExternalPoolConfig(size=12000),
+        friendship=FriendshipConfig(
+            p_same_cohort=0.55,
+            p_adjacent_cohort=0.08,
+            student_external_median=280.0,
+            alumni_external_median=260.0,
+        ),
+        osn=OsnParamsConfig(search_result_cap=240),
+    )
+
+
+def hs2(seed: int = 202) -> WorldConfig:
+    """HS2: large public suburban school on the East Coast, ~1,500 students."""
+    return WorldConfig(
+        seed=seed,
+        observation_year=2012.45,
+        city_name="Maplewood",
+        schools=(
+            SchoolConfig(
+                name="Maplewood Township High School",
+                city="Maplewood",
+                enrollment=1500,
+                alumni_cohorts=8,
+                churn_out_rate=0.08,
+                transfer_in_rate=0.06,
+            ),
+        ),
+        lying=LyingConfig(
+            p_lie_if_under_13=0.88,
+            claim_13_weight=0.25,
+            claim_midteen_weight=0.15,
+            claim_adult_weight=0.60,
+        ),
+        students=StudentBehaviorConfig(
+            p_list_school=0.28,
+            p_adult_friend_list_public=0.77,
+            p_adult_public_search=0.80,
+            p_adult_message_public=0.86,
+            p_adult_relationship=0.26,
+            p_adult_interested_in=0.20,
+            p_adult_birthday_public=0.04,
+            adult_photo_mean=51.0,
+        ),
+        externals=ExternalPoolConfig(size=16000),
+        friendship=FriendshipConfig(
+            p_same_cohort=0.32,
+            p_adjacent_cohort=0.05,
+            p_two_cohort_gap=0.015,
+            p_three_cohort_gap=0.006,
+            student_external_median=260.0,
+            alumni_external_median=280.0,
+        ),
+        adoption=AdoptionConfig(p_student=0.85, p_alumnus=0.60),
+        osn=OsnParamsConfig(search_result_cap=420),
+    )
+
+
+def hs3(seed: int = 303) -> WorldConfig:
+    """HS3: large public school in a small mid-western city, ~1,500 students."""
+    base = hs2(seed)
+    return replace(
+        base,
+        city_name="Cedar Falls",
+        schools=(
+            SchoolConfig(
+                name="Cedar Falls High School",
+                city="Cedar Falls",
+                enrollment=1500,
+                alumni_cohorts=8,
+                churn_out_rate=0.07,
+                transfer_in_rate=0.05,
+            ),
+        ),
+        lying=LyingConfig(
+            p_lie_if_under_13=0.90,
+            claim_13_weight=0.34,
+            claim_midteen_weight=0.12,
+            claim_adult_weight=0.54,
+        ),
+        students=StudentBehaviorConfig(
+            p_list_school=0.26,
+            p_adult_friend_list_public=0.87,
+            p_adult_public_search=0.86,
+            p_adult_message_public=0.91,
+            p_adult_relationship=0.34,
+            p_adult_interested_in=0.33,
+            p_adult_birthday_public=0.06,
+            adult_photo_mean=57.0,
+        ),
+        externals=ExternalPoolConfig(size=13000),
+    )
+
+
+def tiny(seed: int = 7) -> WorldConfig:
+    """A fast, small world for unit and property tests."""
+    return WorldConfig(
+        seed=seed,
+        observation_year=2012.25,
+        city_name="Smallville",
+        schools=(
+            SchoolConfig(
+                name="Smallville High School",
+                city="Smallville",
+                enrollment=120,
+                alumni_cohorts=5,
+                churn_out_rate=0.10,
+                transfer_in_rate=0.08,
+            ),
+        ),
+        friendship=FriendshipConfig(
+            p_same_cohort=0.45,
+            p_adjacent_cohort=0.10,
+            student_external_median=60.0,
+            alumni_external_median=70.0,
+            parent_external_median=20.0,
+        ),
+        externals=ExternalPoolConfig(size=1500),
+        osn=OsnParamsConfig(search_result_cap=48),
+    )
+
+
+PRESETS = {"hs1": hs1, "hs2": hs2, "hs3": hs3, "tiny": tiny}
+
+
+def preset(name: str, seed: int | None = None) -> WorldConfig:
+    """Look up a preset by name, optionally overriding its seed."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown preset {name!r}; choose from {sorted(PRESETS)}") from None
+    return factory() if seed is None else factory(seed)

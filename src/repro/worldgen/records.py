@@ -1,0 +1,99 @@
+"""Public records: the synthetic voter registry (paper, Section 2).
+
+The paper's first consequential threat is data brokers enriching the
+high-school profiles with public records: "by obtaining voter
+registration records (which most states make available for a small
+fee), the data broker can use the last name and city in the high-school
+profiles to link the students to parents ... thereby determining the
+street address of many of the students."
+
+We generate that registry from the ground-truth population: adults
+(18+) living in a city, with name, street address and birth year,
+registered to vote with a realistic probability.  The registry is a
+*public* data set — the linkage attack in ``repro.core.linkage`` may
+use it freely, unlike the OSN's ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .population import Person, Population, Role
+
+#: Roughly the fraction of US adults registered to vote.
+DEFAULT_REGISTRATION_RATE = 0.70
+
+
+@dataclass(frozen=True)
+class VoterRecord:
+    """One row of the purchased voter file."""
+
+    first_name: str
+    last_name: str
+    street_address: str
+    city: str
+    birth_year: int
+
+
+@dataclass
+class VoterRegistry:
+    """The purchasable voter file, indexed for linkage queries."""
+
+    records: List[VoterRecord]
+
+    def __post_init__(self) -> None:
+        self._by_surname_city: Dict[Tuple[str, str], List[VoterRecord]] = {}
+        for record in self.records:
+            key = (record.last_name.lower(), record.city.lower())
+            self._by_surname_city.setdefault(key, []).append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def lookup(self, last_name: str, city: str) -> List[VoterRecord]:
+        """All registered voters with this surname in this city."""
+        return list(self._by_surname_city.get((last_name.lower(), city.lower()), []))
+
+    def lookup_person(
+        self, first_name: str, last_name: str, city: str
+    ) -> Optional[VoterRecord]:
+        """An exact (first, last, city) match, if registered."""
+        for record in self.lookup(last_name, city):
+            if record.first_name.lower() == first_name.lower():
+                return record
+        return None
+
+
+def build_voter_registry(
+    population: Population,
+    observation_year: float,
+    registration_rate: float = DEFAULT_REGISTRATION_RATE,
+    seed: int = 0,
+) -> VoterRegistry:
+    """Generate the voter file from the ground-truth population.
+
+    Adults (18+ at observation time) with a known street address appear
+    with probability ``registration_rate``.  Minors never appear —
+    that is exactly why the linkage goes through parents.
+    """
+    rng = random.Random(seed)
+    records: List[VoterRecord] = []
+    for person in population.people:
+        if person.street_address is None:
+            continue
+        if person.real_age(observation_year) < 18.0:
+            continue
+        if rng.random() >= registration_rate:
+            continue
+        records.append(
+            VoterRecord(
+                first_name=person.name.first,
+                last_name=person.name.last,
+                street_address=person.street_address,
+                city=person.city,
+                birth_year=int(person.birth_year_fraction),
+            )
+        )
+    return VoterRegistry(records=records)

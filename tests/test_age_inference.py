@@ -1,0 +1,70 @@
+"""Tests for friend-based birth-year estimation (ref [16])."""
+
+import pytest
+
+from repro.core.age_inference import (
+    AgeEstimate,
+    estimate_birth_years,
+    evaluate_age_inference,
+)
+from repro.core.api import make_client
+from repro.core.extension import ExtendedProfile, build_extended_profiles
+
+
+@pytest.fixture(scope="module")
+def estimates(tiny_world, tiny_attack):
+    client = make_client(tiny_world, 1)
+    extended = build_extended_profiles(tiny_attack, client, t=100)
+    return extended, estimate_birth_years(extended)
+
+
+class TestEstimators:
+    def test_every_dossier_estimated(self, estimates):
+        extended, ests = estimates
+        assert set(ests) == set(extended)
+
+    def test_cohort_estimate_formula(self, estimates):
+        extended, ests = estimates
+        for uid, est in ests.items():
+            year = extended[uid].inferred_year
+            if year is not None:
+                assert est.cohort_estimate == year - 18
+
+    def test_friend_estimates_exist_for_connected_minors(self, estimates):
+        extended, ests = estimates
+        connected = [
+            uid for uid, p in extended.items() if len(p.reverse_friends) >= 3
+        ]
+        with_friend_est = sum(
+            1 for uid in connected if ests[uid].friend_estimate is not None
+        )
+        assert with_friend_est / max(len(connected), 1) > 0.8
+
+    def test_best_prefers_cohort(self):
+        est = AgeEstimate(1, cohort_estimate=1996, friend_estimate=1990, friend_evidence=5)
+        assert est.best() == 1996
+
+    def test_best_falls_back_to_friends(self):
+        est = AgeEstimate(1, cohort_estimate=None, friend_estimate=1995, friend_evidence=3)
+        assert est.best() == 1995
+
+
+class TestEvaluation:
+    def test_cohort_estimator_accurate(self, estimates, tiny_world):
+        _, ests = estimates
+        evaluation = evaluate_age_inference(ests, tiny_world)
+        assert evaluation.evaluated > 20
+        # Class year - 18 is a very good birth-year proxy.
+        assert evaluation.cohort_mean_abs_error < 1.5
+        assert evaluation.cohort_within_one_year > 0.7
+
+    def test_friend_estimator_useful(self, estimates, tiny_world):
+        """Friend-based estimates are noisier (registered birthdays lie!)
+        but still land within a small error for most students."""
+        _, ests = estimates
+        evaluation = evaluate_age_inference(ests, tiny_world)
+        assert evaluation.friend_mean_abs_error < 4.0
+
+    def test_empty_estimates(self, tiny_world):
+        evaluation = evaluate_age_inference({}, tiny_world)
+        assert evaluation.evaluated == 0

@@ -1,0 +1,65 @@
+"""Tests for trade-off curves and their scalar reductions."""
+
+import pytest
+
+from repro.analysis.metrics import TradeoffCurve, tradeoff_curve
+
+
+class TestTradeoffCurve:
+    def test_coverage_at_fp_budget(self):
+        curve = TradeoffCurve(points=((10, 50), (50, 80), (200, 95)), students_on_osn=100)
+        assert curve.coverage_at_fp_budget(50) == pytest.approx(0.80)
+        assert curve.coverage_at_fp_budget(5) == 0.0
+        assert curve.coverage_at_fp_budget(10_000) == pytest.approx(0.95)
+
+    def test_auc_bounds(self):
+        curve = TradeoffCurve(points=((10, 50), (50, 80), (200, 95)), students_on_osn=100)
+        assert 0.0 < curve.normalized_auc() <= 1.0
+
+    def test_perfect_curve_auc_near_one(self):
+        curve = TradeoffCurve(points=((0, 100), (1, 100)), students_on_osn=100)
+        assert curve.normalized_auc() == pytest.approx(1.0)
+
+    def test_degenerate_curves(self):
+        assert TradeoffCurve(points=(), students_on_osn=100).normalized_auc() == 0.0
+        single = TradeoffCurve(points=((5, 50),), students_on_osn=100)
+        assert single.normalized_auc() == 0.0
+
+    def test_zero_fp_sweep(self):
+        curve = TradeoffCurve(points=((0, 40), (0, 60)), students_on_osn=100)
+        assert curve.normalized_auc() == pytest.approx(0.6)
+
+    def test_dominance(self):
+        better = TradeoffCurve(points=((5, 60), (20, 90)), students_on_osn=100)
+        worse = TradeoffCurve(points=((10, 50), (40, 80)), students_on_osn=100)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_dominance_requires_same_sweep(self):
+        a = TradeoffCurve(points=((5, 60),), students_on_osn=100)
+        b = TradeoffCurve(points=((5, 60), (6, 61)), students_on_osn=100)
+        with pytest.raises(ValueError):
+            a.dominates(b)
+
+
+class TestFromAttackResult:
+    def test_curve_monotone(self, tiny_attack, tiny_world):
+        curve = tradeoff_curve(
+            tiny_attack, tiny_world.ground_truth(), thresholds=[30, 60, 90, 120]
+        )
+        fps = [p[0] for p in curve.points]
+        founds = [p[1] for p in curve.points]
+        assert fps == sorted(fps)
+        assert founds == sorted(founds)
+
+    def test_default_threshold_grid(self, tiny_attack, tiny_world):
+        curve = tradeoff_curve(tiny_attack, tiny_world.ground_truth())
+        assert len(curve.points) >= 10
+
+    def test_enhanced_beats_random_auc(self, tiny_attack, tiny_world):
+        """The ranking is much better than random: AUC well above the
+        candidate base rate."""
+        truth = tiny_world.ground_truth()
+        curve = tradeoff_curve(tiny_attack, truth, thresholds=[40, 80, 120, 200, 400])
+        base_rate = truth.on_osn_count / max(len(tiny_attack.candidates), 1)
+        assert curve.normalized_auc() > 3 * base_rate

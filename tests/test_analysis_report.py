@@ -1,0 +1,71 @@
+"""Tests for the markdown attack report."""
+
+import pytest
+
+from repro.analysis.report import attack_report_markdown
+from repro.core.api import make_client
+from repro.core.evaluation import sweep_full
+from repro.core.extension import build_extended_profiles
+from repro.core.outreach import assess_contactability
+
+
+@pytest.fixture(scope="module")
+def full_report(tiny_world, tiny_attack):
+    client = make_client(tiny_world, 1)
+    extended = build_extended_profiles(tiny_attack, client, t=100)
+    return attack_report_markdown(
+        tiny_attack,
+        evaluations=sweep_full(tiny_attack, tiny_world.ground_truth(), [60, 120]),
+        extended=extended,
+        outreach=assess_contactability(extended),
+    )
+
+
+class TestReportContent:
+    def test_title_names_school(self, full_report, tiny_world):
+        assert tiny_world.school().name in full_report.splitlines()[0]
+
+    def test_all_sections_present(self, full_report):
+        for section in (
+            "## Crawl summary",
+            "## Inferred student body",
+            "## Ground-truth evaluation",
+            "## Profile extension",
+            "## Contact surfaces",
+            "## Method",
+        ):
+            assert section in full_report
+
+    def test_crawl_numbers_present(self, full_report, tiny_attack):
+        assert str(len(tiny_attack.seeds)) in full_report
+        assert str(tiny_attack.effort.total) in full_report
+
+    def test_class_years_tabulated(self, full_report, tiny_attack):
+        for year in tiny_attack.core.years:
+            if year in set(tiny_attack.select().values()):
+                assert str(year) in full_report
+
+    def test_markdown_tables_well_formed(self, full_report):
+        for line in full_report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_minimal_report_without_optionals(self, tiny_attack):
+        report = attack_report_markdown(tiny_attack)
+        assert "## Crawl summary" in report
+        assert "Ground-truth evaluation" not in report
+        assert "Contact surfaces" not in report
+
+    def test_sample_dossiers_capped(self, tiny_world, tiny_attack):
+        client = make_client(tiny_world, 1)
+        extended = build_extended_profiles(tiny_attack, client, t=100)
+        report = attack_report_markdown(
+            tiny_attack, extended=extended, max_sample_dossiers=2
+        )
+        if "Sample dossiers" in report:
+            section = report.split("Sample dossiers (registered minors)")[1]
+            data_rows = [
+                l for l in section.splitlines()
+                if l.startswith("|") and "---" not in l and "name" not in l
+            ]
+            assert len(data_rows) <= 2

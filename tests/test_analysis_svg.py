@@ -1,0 +1,97 @@
+"""Tests for SVG figure rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.figures import Figure, Series
+from repro.analysis.svg import (
+    SvgChartBuilder,
+    _log_ticks,
+    _nice_ticks,
+    render_figure_svg,
+    save_figure_svg,
+)
+
+
+def sample_figure(log_y=False):
+    return Figure(
+        title="Demo <figure>",
+        x_label="t",
+        y_label="percent",
+        series=[
+            Series.of("found", [(200, 54.0), (300, 70.0), (500, 92.0)]),
+            Series.of("false positives", [(200, 13.0), (300, 22.0), (500, 50.0)]),
+        ],
+        log_y=log_y,
+    )
+
+
+class TestTicks:
+    def test_nice_ticks_cover_range(self):
+        ticks = _nice_ticks(0, 100)
+        assert ticks[0] <= 0 and ticks[-1] >= 100
+        assert len(ticks) <= 8
+
+    def test_nice_ticks_degenerate(self):
+        assert _nice_ticks(5, 5) == [5]
+
+    def test_log_ticks_are_decades(self):
+        ticks = _log_ticks(3, 4000)
+        assert 10.0 in ticks and 1000.0 in ticks
+        for a, b in zip(ticks, ticks[1:]):
+            assert b / a == pytest.approx(10.0)
+
+
+class TestRendering:
+    def test_output_is_valid_xml(self):
+        svg = render_figure_svg(sample_figure())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_title_escaped(self):
+        svg = render_figure_svg(sample_figure())
+        assert "Demo &lt;figure&gt;" in svg
+        assert "<figure>" not in svg
+
+    def test_one_polyline_per_series(self):
+        svg = render_figure_svg(sample_figure())
+        assert svg.count("<polyline") == 2
+
+    def test_markers_per_point(self):
+        svg = render_figure_svg(sample_figure())
+        assert svg.count("<circle") == 6
+
+    def test_legend_names_series(self):
+        svg = render_figure_svg(sample_figure())
+        assert "found" in svg and "false positives" in svg
+
+    def test_log_scale_renders(self):
+        figure = Figure(
+            title="Log demo",
+            x_label="coverage",
+            y_label="FPs",
+            series=[Series.of("s", [(10, 5.0), (50, 500.0), (90, 4000.0)])],
+            log_y=True,
+        )
+        svg = render_figure_svg(figure)
+        ET.fromstring(svg)
+        assert "1000" in svg  # a decade tick
+
+    def test_empty_figure_rejected(self):
+        empty = Figure(title="x", x_label="x", y_label="y", series=[])
+        with pytest.raises(ValueError):
+            render_figure_svg(empty)
+
+    def test_save_writes_file(self, tmp_path):
+        path = str(tmp_path / "fig.svg")
+        save_figure_svg(sample_figure(), path)
+        with open(path) as f:
+            assert f.read().startswith("<svg")
+
+    def test_coordinates_inside_canvas(self):
+        builder = SvgChartBuilder(sample_figure())
+        for series in builder.figure.series:
+            for x, y in series.points:
+                assert 0 <= builder._x_px(x) <= builder.geom.width
+                assert 0 <= builder._y_px(y) <= builder.geom.height

@@ -1,0 +1,135 @@
+"""Tests for table rendering and the policy-probe matrices."""
+
+import pytest
+
+from repro.analysis.tables import (
+    ascii_table,
+    check,
+    dataset_row,
+    effort_row,
+    policy_visibility_matrix,
+    render_policy_table,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+from repro.core.evaluation import FullEvaluation
+from repro.core.extension import AdultRegisteredStats
+from repro.osn.policy import facebook_policy, googleplus_policy
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        out = ascii_table(["a", "long header"], [["x", 1], ["yyyy", 22]])
+        lines = out.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title_included(self):
+        assert ascii_table(["h"], [["v"]], title="My Table").startswith("My Table")
+
+    def test_check(self):
+        assert check(True) == "x"
+        assert check(False) == ""
+
+
+class TestTable1Facebook:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return {row[0]: row[1:] for row in policy_visibility_matrix(facebook_policy())}
+
+    def test_minimal_row_checked_everywhere(self, matrix):
+        assert matrix["Name, Gender, Networks, Profile Photo"] == (True, True, True, True)
+
+    def test_minors_never_expose_extended_rows(self, matrix):
+        for label, (dm, da, wm, wa) in matrix.items():
+            if label == "Name, Gender, Networks, Profile Photo":
+                continue
+            assert not dm, label
+            assert not wm, label
+
+    def test_worst_case_adult_exposes_everything(self, matrix):
+        for label, (_, _, _, wa) in matrix.items():
+            assert wa, label
+
+    def test_default_adult_exposes_hs_but_not_contact(self, matrix):
+        assert matrix["HS, Relationship, Interested In"][1]
+        assert not matrix["Contact Information"][1]
+        assert not matrix["Birthday"][1]
+
+    def test_render_has_all_rows(self):
+        out = render_policy_table(facebook_policy(), "Table 1")
+        assert "Public Search" in out
+        assert "Contact Information" in out
+
+
+class TestTable6GooglePlus:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return {row[0]: row[1:] for row in policy_visibility_matrix(googleplus_policy())}
+
+    def test_minor_worst_case_can_expose_school_and_phone(self, matrix):
+        assert matrix["Gender, Employment, HS, Hometown, Current City"][2]
+        assert matrix["Home and Work Phone"][2]
+
+    def test_minor_defaults_protective(self, matrix):
+        for label, (dm, _, _, _) in matrix.items():
+            if label == "Name, Profile Picture":
+                continue
+            assert not dm, label
+
+    def test_distinct_from_facebook(self):
+        fb = policy_visibility_matrix(facebook_policy())
+        gp = policy_visibility_matrix(googleplus_policy())
+        # Google+ lets worst-case minors expose more than Facebook does.
+        fb_worst_minor = sum(1 for row in fb if row[3])
+        gp_worst_minor = sum(1 for row in gp if row[3])
+        assert gp_worst_minor > fb_worst_minor
+
+
+class TestAggregateTables:
+    def test_table2_renders(self, tiny_attack):
+        row = dataset_row("TINY", tiny_attack, enrolled=120, on_osn=110)
+        out = render_table2([row])
+        assert "TINY" in out and str(len(tiny_attack.seeds)) in out
+
+    def test_table3_renders(self, tiny_attack):
+        row = effort_row("TINY", tiny_attack, tiny_attack)
+        out = render_table3([row])
+        assert "TINY" in out
+
+    def test_table4_renders(self):
+        evals = [
+            FullEvaluation(threshold=t, selected=t, found=t // 2,
+                           correct_year=t // 3, false_positives=t - t // 2,
+                           students_on_osn=100)
+            for t in (50, 100)
+        ]
+        out = render_table4({"Basic methodology": evals}, [50, 100])
+        assert "25/16" in out
+        assert "Top 50" in out
+
+    def test_table4_missing_threshold_dash(self):
+        evals = [
+            FullEvaluation(threshold=50, selected=50, found=10, correct_year=9,
+                           false_positives=40, students_on_osn=100)
+        ]
+        out = render_table4({"Basic": evals}, [50, 100])
+        assert "-" in out
+
+    def test_table5_renders(self):
+        stats = AdultRegisteredStats(
+            count=112,
+            pct_friend_list_public=73.0,
+            avg_friends_when_public=405.0,
+            pct_public_search=71.0,
+            pct_message_link=89.0,
+            pct_relationship=15.0,
+            pct_interested_in=13.0,
+            pct_birthday=9.0,
+            avg_photos=19.0,
+        )
+        out = render_table5({"HS1": stats})
+        assert "112" in out
+        assert "73%" in out
+        assert "405" in out

@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_thresholds, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_attack_defaults(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.preset == "hs1"
+        assert args.accounts == 2
+        assert not args.enhanced
+
+    def test_threshold_list_parsing(self):
+        assert _parse_thresholds("100,200,300") == [100, 200, 300]
+
+    def test_bad_threshold_list_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_thresholds("a,b")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_thresholds("")
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--preset", "hs9"])
+
+
+class TestCommands:
+    def test_worldinfo(self, capsys):
+        assert main(["worldinfo", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Smallville High School" in out
+        assert "age liars" in out
+
+    def test_worldinfo_without_coppa(self, capsys):
+        assert main(["worldinfo", "--preset", "tiny", "--without-coppa"]) == 0
+        out = capsys.readouterr().out
+        assert "age liars (all accounts)  | 0" in out
+
+    def test_attack(self, capsys):
+        code = main(
+            ["attack", "--preset", "tiny", "-t", "120", "--enhanced", "--filtering"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "students found" in out
+        assert "false positives" in out
+
+    def test_sweep(self, capsys):
+        code = main(
+            ["sweep", "--preset", "tiny", "--thresholds", "60,90,120"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "% of students found for TINY" in out
+
+    def test_tables_facebook(self, capsys):
+        assert main(["tables", "--policy", "facebook"]) == 0
+        assert "Public Search" in capsys.readouterr().out
+
+    def test_tables_googleplus(self, capsys):
+        assert main(["tables", "--policy", "googleplus"]) == 0
+        assert "Have You in Circles" in capsys.readouterr().out
+
+    def test_countermeasure(self, capsys):
+        code = main(
+            [
+                "countermeasure",
+                "--preset",
+                "tiny",
+                "-t",
+                "120",
+                "--thresholds",
+                "60,120",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Without reverse lookup" in out
+
+    def test_coppaless(self, capsys):
+        code = main(["coppaless", "--preset", "tiny", "-t", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Without-COPPA" in out
+
+
+class TestExtendedCommands:
+    def test_export_aggregate(self, capsys, tmp_path):
+        out = str(tmp_path / "w.json")
+        assert main(["export", "--preset", "tiny", "-o", out]) == 0
+        import json
+
+        doc = json.load(open(out))
+        assert "summary" in doc and "users" not in doc
+
+    def test_export_full(self, capsys, tmp_path):
+        out = str(tmp_path / "w.json")
+        assert main(["export", "--preset", "tiny", "--full", "-o", out]) == 0
+        import json
+
+        doc = json.load(open(out))
+        assert doc["users"] and doc["edges"]
+
+    def test_robustness(self, capsys):
+        code = main(
+            ["robustness", "--preset", "tiny", "-t", "120", "--seeds", "1,2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out and "2 seeds" in out
+
+    def test_defences(self, capsys):
+        code = main(["defences", "--preset", "tiny", "-t", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no_reverse_lookup" in out
+        assert "age_verification" in out

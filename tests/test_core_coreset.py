@@ -1,0 +1,96 @@
+"""Tests for core-set extraction (C', C, C_i)."""
+
+import pytest
+
+from repro.core.coreset import CoreSet, claimed_graduation_year, extract_claims
+from repro.osn.profile import SchoolAffiliation
+from repro.osn.view import ProfileView
+
+
+def view_claiming(uid, school_id, year):
+    return ProfileView(
+        user_id=uid,
+        name=f"User {uid}",
+        high_schools=(SchoolAffiliation(school_id, "Target High", year),),
+    )
+
+
+class TestClaimedGraduationYear:
+    def test_current_year_counts(self):
+        assert claimed_graduation_year(view_claiming(1, 5, 2012), 5, 2012) == 2012
+
+    def test_three_years_out_counts(self):
+        assert claimed_graduation_year(view_claiming(1, 5, 2015), 5, 2012) == 2015
+
+    def test_four_years_out_rejected(self):
+        assert claimed_graduation_year(view_claiming(1, 5, 2016), 5, 2012) is None
+
+    def test_past_year_rejected(self):
+        assert claimed_graduation_year(view_claiming(1, 5, 2011), 5, 2012) is None
+
+    def test_wrong_school_rejected(self):
+        assert claimed_graduation_year(view_claiming(1, 6, 2013), 5, 2012) is None
+
+    def test_missing_year_rejected(self):
+        assert claimed_graduation_year(view_claiming(1, 5, None), 5, 2012) is None
+
+    def test_no_schools_rejected(self):
+        view = ProfileView(user_id=1, name="Nobody")
+        assert claimed_graduation_year(view, 5, 2012) is None
+
+    def test_custom_horizon(self):
+        assert claimed_graduation_year(view_claiming(1, 5, 2016), 5, 2012, horizon_years=5) == 2016
+
+
+class TestExtractClaims:
+    def test_extracts_only_current_claims(self):
+        profiles = {
+            1: view_claiming(1, 5, 2013),
+            2: view_claiming(2, 5, 2009),
+            3: view_claiming(3, 7, 2013),
+            4: ProfileView(user_id=4, name="Blank"),
+        }
+        assert extract_claims(profiles, 5, 2012) == {1: 2013}
+
+
+class TestCoreSet:
+    @pytest.fixture()
+    def core(self):
+        core = CoreSet(school_id=5, current_year=2012)
+        core.add_core(10, 2012, [100, 101])
+        core.add_core(11, 2012, [101, 102])
+        core.add_core(12, 2014, [103])
+        core.add_claimed(13, 2015)  # friend list hidden: C' only
+        return core
+
+    def test_years_are_four_cohorts(self, core):
+        assert core.years == [2012, 2013, 2014, 2015]
+
+    def test_core_subset_of_claimed(self, core):
+        assert set(core.core) <= set(core.claimed)
+
+    def test_sizes(self, core):
+        assert core.core_size == 3
+        assert core.claimed_size == 4
+
+    def test_core_by_year(self, core):
+        grouped = core.core_by_year()
+        assert grouped[2012] == {10, 11}
+        assert grouped[2013] == set()
+        assert grouped[2014] == {12}
+
+    def test_year_sizes(self, core):
+        assert core.year_sizes() == {2012: 2, 2013: 0, 2014: 1, 2015: 0}
+
+    def test_candidate_set_excludes_core(self, core):
+        core.add_core(14, 2013, [10, 200])
+        candidates = core.candidate_set()
+        assert 10 not in candidates
+        assert candidates == {100, 101, 102, 103, 200}
+
+    def test_copy_is_deep_enough(self, core):
+        clone = core.copy()
+        clone.add_core(99, 2015, [1])
+        clone.friend_lists[10].append(999)
+        assert 99 not in core.core
+        assert 999 not in core.friend_lists[10]

@@ -1,0 +1,53 @@
+"""Tests for the Section-8 reverse-lookup countermeasure."""
+
+import pytest
+
+from repro.core.countermeasures import run_countermeasure_comparison
+from repro.core.profiler import ProfilerConfig
+from repro.worldgen.presets import tiny
+from repro.worldgen.world import build_world
+
+
+@pytest.fixture(scope="module")
+def report():
+    world = build_world(tiny(seed=13))
+    return run_countermeasure_comparison(
+        world,
+        accounts=2,
+        config=ProfilerConfig(enhanced=True, filtering=True),
+        thresholds=(40, 80, 120),
+    ), world
+
+
+class TestComparison:
+    def test_coverage_collapses(self, report):
+        rep, _ = report
+        final = rep.points[-1]
+        assert final.found_percent_without < final.found_percent_with
+        assert rep.max_reduction() > 15.0
+
+    def test_flag_restored_after_run(self, report):
+        _, world = report
+        assert world.network.reverse_lookup_enabled
+
+    def test_points_cover_thresholds(self, report):
+        rep, _ = report
+        assert [p.threshold for p in rep.points] == [40, 80, 120]
+
+    def test_with_lookup_coverage_grows_with_t(self, report):
+        rep, _ = report
+        found = [p.found_percent_with for p in rep.points]
+        assert found == sorted(found)
+
+    def test_without_lookup_candidates_shrink(self, report):
+        rep, _ = report
+        assert len(rep.without_lookup.candidates) < len(rep.with_lookup.candidates)
+
+    def test_registered_minors_invisible_without_lookup(self, report):
+        """With the defence on, no registered minor appears in any
+        crawled friend list (the defining property of the countermeasure)."""
+        rep, world = report
+        net = world.network
+        for candidate in rep.without_lookup.candidates:
+            if candidate in net.users:
+                assert not net.is_registered_minor(candidate)

@@ -1,0 +1,118 @@
+"""Tests for full and partial ground-truth evaluation."""
+
+import pytest
+
+from repro.core.api import make_client
+from repro.core.evaluation import (
+    collect_test_users,
+    evaluate_full,
+    evaluate_partial,
+    sweep_full,
+    sweep_partial,
+)
+
+
+class TestFullEvaluation:
+    def test_accounting_identity(self, tiny_attack, tiny_world):
+        truth = tiny_world.ground_truth()
+        e = evaluate_full(tiny_attack, truth, 60)
+        assert e.found + e.false_positives == e.selected
+        assert 0 <= e.correct_year <= e.found
+
+    def test_found_fraction_bounded(self, tiny_attack, tiny_world):
+        e = evaluate_full(tiny_attack, tiny_world.ground_truth(), 60)
+        assert 0.0 <= e.found_fraction <= 1.0
+        assert 0.0 <= e.false_positive_rate <= 1.0
+
+    def test_attack_beats_chance(self, tiny_attack, tiny_world):
+        """The headline: most students found at t ~ school size."""
+        truth = tiny_world.ground_truth()
+        e = evaluate_full(tiny_attack, truth, 120)
+        assert e.found_fraction > 0.5
+
+    def test_year_accuracy_high(self, tiny_attack, tiny_world):
+        e = evaluate_full(tiny_attack, tiny_world.ground_truth(), 120)
+        assert e.year_accuracy > 0.7
+
+    def test_found_over_correct_format(self, tiny_attack, tiny_world):
+        e = evaluate_full(tiny_attack, tiny_world.ground_truth(), 60)
+        assert e.found_over_correct == f"{e.found}/{e.correct_year}"
+
+    def test_sweep_monotone_found(self, tiny_attack, tiny_world):
+        truth = tiny_world.ground_truth()
+        evals = sweep_full(tiny_attack, truth, [30, 60, 90, 120])
+        founds = [e.found for e in evals]
+        assert founds == sorted(founds)
+
+    def test_sweep_fp_monotone(self, tiny_attack, tiny_world):
+        truth = tiny_world.ground_truth()
+        evals = sweep_full(tiny_attack, truth, [30, 60, 90, 120])
+        fps = [e.false_positives for e in evals]
+        assert fps == sorted(fps)
+
+    def test_default_threshold_used(self, tiny_attack, tiny_world):
+        e = evaluate_full(tiny_attack, tiny_world.ground_truth())
+        assert e.threshold == tiny_attack.threshold
+
+
+class TestPartialEvaluation:
+    @pytest.fixture(scope="class")
+    def test_users(self, tiny_world, tiny_attack):
+        client = make_client(tiny_world, 2)
+        return collect_test_users(
+            client, tiny_world.school().school_id, exclude=tiny_attack.seeds
+        )
+
+    def test_test_users_disjoint_from_seeds(self, test_users, tiny_attack):
+        assert not (set(test_users) & set(tiny_attack.seeds))
+
+    def test_test_users_claim_current_years(self, test_users, tiny_attack):
+        years = set(tiny_attack.core.years)
+        assert all(year in years for year in test_users.values())
+
+    def test_estimator_formula(self, tiny_attack, tiny_world, test_users):
+        if not test_users:
+            pytest.skip("no disjoint test users in this tiny world")
+        school_size = tiny_world.school().enrollment_hint
+        pe = evaluate_partial(tiny_attack, test_users, school_size, t=100)
+        core = tiny_attack.extended_core_size
+        z = pe.test_found
+        expected = core + z / len(test_users) * (school_size - core)
+        assert pe.estimated_students_found == pytest.approx(expected)
+
+    def test_estimates_bounded(self, tiny_attack, tiny_world, test_users):
+        if not test_users:
+            pytest.skip("no disjoint test users in this tiny world")
+        pe = evaluate_partial(tiny_attack, test_users, 120, t=100)
+        assert pe.estimated_false_positives >= 0
+        assert 0.0 <= pe.estimated_false_positive_rate <= 1.0
+
+    def test_empty_test_users_rejected(self, tiny_attack):
+        with pytest.raises(ValueError):
+            evaluate_partial(tiny_attack, {}, 120, t=50)
+
+    def test_sweep_partial_lengths(self, tiny_attack, test_users):
+        if not test_users:
+            pytest.skip("no disjoint test users in this tiny world")
+        evals = sweep_partial(tiny_attack, test_users, 120, [40, 80, 120])
+        assert [e.threshold for e in evals] == [40, 80, 120]
+
+
+class TestEstimatorAgreesWithTruth:
+    def test_partial_tracks_full_on_hs1(self, hs1_world, hs1_attack):
+        """The Section-5.5 estimator should roughly agree with exact
+        evaluation when both are available (our worlds give us both)."""
+        client = make_client(hs1_world, 2)
+        test_users = collect_test_users(
+            client, hs1_world.school().school_id, exclude=hs1_attack.seeds
+        )
+        if len(test_users) < 5:
+            pytest.skip("too few disjoint test users")
+        truth = hs1_world.ground_truth()
+        full = evaluate_full(hs1_attack, truth, 400)
+        partial = evaluate_partial(
+            hs1_attack, test_users, truth.on_osn_count, t=400
+        )
+        assert partial.estimated_found_fraction == pytest.approx(
+            full.found_fraction, abs=0.25
+        )

@@ -1,0 +1,103 @@
+"""Tests for Section-6 profile extension and Table-5 aggregation."""
+
+import pytest
+
+from repro.core.api import make_client
+from repro.core.extension import (
+    build_extended_profiles,
+    infer_birth_year,
+    registered_minor_friend_average,
+    table5_stats,
+)
+
+
+@pytest.fixture(scope="module")
+def extended(tiny_world, tiny_attack):
+    client = make_client(tiny_world, 1)
+    return build_extended_profiles(tiny_attack, client, t=100)
+
+
+class TestInferBirthYear:
+    def test_graduate_at_18(self):
+        assert infer_birth_year(2014) == 1996
+
+    def test_none_passthrough(self):
+        assert infer_birth_year(None) is None
+
+
+class TestExtendedProfiles:
+    def test_covers_whole_selection(self, extended, tiny_attack):
+        assert set(extended) == set(tiny_attack.select(100))
+
+    def test_city_inferred_from_school(self, extended, tiny_world):
+        city = tiny_world.school().city
+        assert all(p.inferred_city == city for p in extended.values())
+
+    def test_birth_year_consistent_with_year(self, extended):
+        for p in extended.values():
+            if p.inferred_year is not None:
+                assert p.inferred_birth_year == p.inferred_year - 18
+
+    def test_registered_minors_get_reverse_friends(self, extended, tiny_world):
+        """The paper's key claim: friend lists for users whose own lists
+        are hidden, via reverse lookup."""
+        minors = [
+            p for p in extended.values() if not p.appears_registered_adult
+        ]
+        assert minors
+        with_friends = [p for p in minors if p.reverse_friends]
+        assert len(with_friends) / len(minors) > 0.5
+
+    def test_reverse_friends_stay_inside_selection(self, extended):
+        members = set(extended)
+        for p in extended.values():
+            assert p.reverse_friends <= members
+
+    def test_reverse_friends_are_real_friendships(self, extended, tiny_world):
+        graph = tiny_world.network.graph
+        for p in list(extended.values())[:200]:
+            for friend in p.reverse_friends:
+                assert graph.are_friends(p.user_id, friend)
+
+    def test_adults_with_public_lists_have_direct_friends(self, extended):
+        adults = [
+            p
+            for p in extended.values()
+            if p.appears_registered_adult
+            and p.view is not None
+            and p.view.friend_list_visible
+        ]
+        assert adults
+        assert all(p.direct_friends is not None for p in adults)
+
+    def test_friend_count_known_prefers_direct(self, extended):
+        for p in extended.values():
+            if p.direct_friends is not None:
+                assert p.friend_count_known == len(p.direct_friends)
+
+
+class TestTable5:
+    def test_stats_over_first_three_years(self, extended, tiny_attack):
+        years = tiny_attack.core.years[1:]
+        stats = table5_stats(extended, years)
+        assert stats.count > 0
+        assert 0 <= stats.pct_friend_list_public <= 100
+        assert 0 <= stats.pct_message_link <= 100
+        assert stats.avg_photos >= 0
+
+    def test_message_link_majority(self, extended, tiny_attack):
+        """Most adult-registered minors are messageable by strangers."""
+        stats = table5_stats(extended, tiny_attack.core.years[1:])
+        assert stats.pct_message_link > 50
+
+    def test_empty_cohort_gives_zero_stats(self, extended):
+        stats = table5_stats(extended, [1999])
+        assert stats.count == 0
+        assert stats.avg_photos == 0.0
+
+    def test_minor_friend_average(self, extended, tiny_attack):
+        count, avg = registered_minor_friend_average(
+            extended, tiny_attack.core.years[1:]
+        )
+        assert count > 0
+        assert avg > 0

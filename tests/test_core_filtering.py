@@ -1,0 +1,115 @@
+"""Tests for the four Section-4.4 filter rules."""
+
+import pytest
+
+from repro.core.filtering import (
+    ALL_RULES,
+    RULE_CURRENT_CITY,
+    RULE_DIFFERENT_HIGH_SCHOOL,
+    RULE_GRADUATE_SCHOOL,
+    RULE_GRADUATION_YEAR,
+    FilterConfig,
+    apply_filters,
+    filter_reason,
+)
+from repro.osn.profile import SchoolAffiliation
+from repro.osn.view import ProfileView
+
+SCHOOL = 5
+CITY = "Springfield"
+YEAR = 2012
+
+
+def view(**kwargs):
+    base = dict(user_id=1, name="Candidate")
+    base.update(kwargs)
+    return ProfileView(**base)
+
+
+class TestIndividualRules:
+    def test_graduate_school_filtered(self):
+        v = view(graduate_school="State University")
+        assert filter_reason(v, SCHOOL, CITY, YEAR) == RULE_GRADUATE_SCHOOL
+
+    def test_different_high_school_filtered(self):
+        v = view(high_schools=(SchoolAffiliation(9, "Other High", 2014),))
+        assert filter_reason(v, SCHOOL, CITY, YEAR) == RULE_DIFFERENT_HIGH_SCHOOL
+
+    def test_target_school_listed_not_filtered_by_rule2(self):
+        v = view(
+            high_schools=(
+                SchoolAffiliation(9, "Other High", 2010),
+                SchoolAffiliation(SCHOOL, "Target High", 2014),
+            )
+        )
+        assert filter_reason(v, SCHOOL, CITY, YEAR) is None
+
+    def test_out_of_range_year_filtered(self):
+        v = view(high_schools=(SchoolAffiliation(SCHOOL, "Target High", 2010),))
+        assert filter_reason(v, SCHOOL, CITY, YEAR) == RULE_GRADUATION_YEAR
+
+    def test_too_future_year_filtered(self):
+        v = view(high_schools=(SchoolAffiliation(SCHOOL, "Target High", 2017),))
+        assert filter_reason(v, SCHOOL, CITY, YEAR) == RULE_GRADUATION_YEAR
+
+    def test_in_range_year_not_filtered(self):
+        for year in (2012, 2013, 2014, 2015):
+            v = view(high_schools=(SchoolAffiliation(SCHOOL, "Target High", year),))
+            assert filter_reason(v, SCHOOL, CITY, YEAR) is None
+
+    def test_different_city_filtered(self):
+        v = view(current_city="Rivertown")
+        assert filter_reason(v, SCHOOL, CITY, YEAR) == RULE_CURRENT_CITY
+
+    def test_same_city_not_filtered(self):
+        v = view(current_city=CITY)
+        assert filter_reason(v, SCHOOL, CITY, YEAR) is None
+
+    def test_minimal_profile_never_filtered(self):
+        assert filter_reason(view(), SCHOOL, CITY, YEAR) is None
+
+    def test_school_without_year_not_year_filtered(self):
+        v = view(high_schools=(SchoolAffiliation(SCHOOL, "Target High", None),))
+        assert filter_reason(v, SCHOOL, CITY, YEAR) is None
+
+
+class TestConfigToggles:
+    def test_none_disables_everything(self):
+        v = view(
+            graduate_school="State U",
+            current_city="Rivertown",
+            high_schools=(SchoolAffiliation(9, "Other", 2009),),
+        )
+        assert filter_reason(v, SCHOOL, CITY, YEAR, FilterConfig.none()) is None
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_only_one_rule_active(self, rule):
+        config = FilterConfig.only(rule)
+        assert config.enabled_rules() == (rule,)
+
+    def test_only_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            FilterConfig.only("nonsense")
+
+    def test_city_rule_disabled_passes_movers(self):
+        config = FilterConfig(current_city=False)
+        v = view(current_city="Rivertown")
+        assert filter_reason(v, SCHOOL, CITY, YEAR, config) is None
+
+
+class TestApplyFilters:
+    def test_returns_reasons_for_eliminated_only(self):
+        profiles = {
+            1: view(graduate_school="State U"),
+            2: view(current_city=CITY),
+            3: view(current_city="Elsewhere"),
+        }
+        eliminated = apply_filters(profiles, SCHOOL, CITY, YEAR)
+        assert eliminated == {1: RULE_GRADUATE_SCHOOL, 3: RULE_CURRENT_CITY}
+
+    def test_rule_precedence_stable(self):
+        v = view(
+            graduate_school="State U",
+            current_city="Elsewhere",
+        )
+        assert filter_reason(v, SCHOOL, CITY, YEAR) == RULE_GRADUATE_SCHOOL

@@ -1,0 +1,143 @@
+"""Tests for Jaccard-based hidden-friendship inference (Section 6.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hidden_links import (
+    InferredLink,
+    evaluate_link_inference,
+    infer_hidden_links,
+    jaccard_index,
+)
+
+
+class TestJaccardIndex:
+    def test_identical_sets(self):
+        assert jaccard_index({1, 2, 3}, {1, 2, 3}) == pytest.approx(1.0)
+
+    def test_disjoint_sets(self):
+        assert jaccard_index({1, 2}, {3, 4}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_index({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard_index(set(), set()) == 0.0
+
+    def test_one_empty(self):
+        assert jaccard_index({1}, set()) == 0.0
+
+    @given(
+        st.sets(st.integers(0, 30), max_size=15),
+        st.sets(st.integers(0, 30), max_size=15),
+    )
+    @settings(max_examples=80)
+    def test_bounded_and_symmetric(self, a, b):
+        j = jaccard_index(a, b)
+        assert 0.0 <= j <= 1.0
+        assert j == pytest.approx(jaccard_index(b, a))
+
+
+class TestInference:
+    def test_high_overlap_pair_predicted(self):
+        reverse = {
+            1: {10, 11, 12, 13},
+            2: {10, 11, 12, 14},
+            3: {20, 21},
+        }
+        links = infer_hidden_links(reverse, threshold=0.3, min_common=2)
+        assert [l.pair for l in links] == [(1, 2)]
+        assert links[0].common_friends == 3
+
+    def test_threshold_respected(self):
+        reverse = {1: {10, 11, 12, 13, 14, 15}, 2: {10, 16, 17, 18, 19, 20}}
+        assert not infer_hidden_links(reverse, threshold=0.5, min_common=1)
+
+    def test_min_common_respected(self):
+        reverse = {1: {10}, 2: {10}}
+        assert not infer_hidden_links(reverse, threshold=0.0, min_common=2)
+        assert infer_hidden_links(reverse, threshold=0.0, min_common=1)
+
+    def test_results_sorted_by_jaccard(self):
+        reverse = {
+            1: {10, 11, 12},
+            2: {10, 11, 12},
+            3: {10, 11, 40, 41},
+        }
+        links = infer_hidden_links(reverse, threshold=0.1, min_common=2)
+        jaccards = [l.jaccard for l in links]
+        assert jaccards == sorted(jaccards, reverse=True)
+
+    def test_empty_input(self):
+        assert infer_hidden_links({}) == []
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 10),
+            st.sets(st.integers(100, 130), max_size=10),
+            max_size=8,
+        ),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=50)
+    def test_predicted_pairs_are_ordered_and_unique(self, reverse, threshold):
+        links = infer_hidden_links(reverse, threshold=threshold, min_common=1)
+        pairs = [l.pair for l in links]
+        assert len(pairs) == len(set(pairs))
+        for a, b in pairs:
+            assert a < b
+            assert threshold <= jaccard_index(reverse[a], reverse[b])
+
+
+class TestEvaluation:
+    def test_precision_recall(self):
+        links = [
+            InferredLink((1, 2), 0.8, 4),
+            InferredLink((1, 3), 0.5, 2),
+        ]
+        truth = {(1, 2)}
+        evaluation = evaluate_link_inference(
+            links, lambda a, b: (a, b) in truth, hidden_pairs=[(1, 2), (4, 5)]
+        )
+        assert evaluation.precision == pytest.approx(0.5)
+        assert evaluation.recall == pytest.approx(0.5)
+        assert 0 < evaluation.f1 < 1
+
+    def test_empty_predictions(self):
+        evaluation = evaluate_link_inference([], lambda a, b: True, [(1, 2)])
+        assert evaluation.precision == 0.0
+        assert evaluation.recall == 0.0
+        assert evaluation.f1 == 0.0
+
+
+class TestEndToEnd:
+    def test_recovers_hidden_minor_links_on_tiny_world(self, tiny_world, tiny_attack):
+        """Inference on real reverse-lookup data finds true hidden edges
+        with reasonable precision."""
+        from repro.core.api import make_client
+        from repro.core.extension import build_extended_profiles
+
+        client = make_client(tiny_world, 1)
+        extended = build_extended_profiles(tiny_attack, client, t=100)
+        truth_students = tiny_world.ground_truth().all_student_uids
+        minors = {
+            uid: p.reverse_friends
+            for uid, p in extended.items()
+            if not p.appears_registered_adult and uid in truth_students
+        }
+        links = infer_hidden_links(minors, threshold=0.25, min_common=3)
+        if not links:
+            pytest.skip("no links inferred at this threshold on the tiny world")
+        graph = tiny_world.network.graph
+        correct = sum(1 for l in links if graph.are_friends(*l.pair))
+        precision = correct / len(links)
+        # Base rate: probability a random pair of these minors is friends.
+        uids = sorted(minors)
+        pairs = hits = 0
+        for i, a in enumerate(uids):
+            for b in uids[i + 1 :]:
+                pairs += 1
+                hits += graph.are_friends(a, b)
+        base_rate = hits / pairs
+        assert precision > 1.5 * base_rate  # real lift over chance

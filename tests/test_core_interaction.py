@@ -1,0 +1,140 @@
+"""Tests for interaction-graph scoring (the paper's future-work idea)."""
+
+import pytest
+
+from repro.core.coreset import CoreSet
+from repro.core.interaction import (
+    interaction_counts,
+    score_with_interactions,
+    summarize_interactions,
+)
+from repro.core.scoring import score_candidates
+from repro.osn.view import ProfileView, WallPostView
+
+
+def make_core_and_profiles():
+    core = CoreSet(school_id=1, current_year=2012)
+    core.add_core(10, 2012, [100, 101])
+    core.add_core(11, 2013, [100, 102])
+    profiles = {
+        10: ProfileView(
+            user_id=10,
+            name="Core A",
+            wall_post_count=3,
+            wall_posts=(
+                WallPostView(100, "hey"),
+                WallPostView(100, "yo"),
+                WallPostView(999, "spam"),
+            ),
+        ),
+        11: ProfileView(
+            user_id=11,
+            name="Core B",
+            wall_post_count=1,
+            wall_posts=(WallPostView(100, "hi"),),
+        ),
+    }
+    return core, profiles
+
+
+class TestInteractionCounts:
+    def test_counts_posts_by_author(self):
+        core, profiles = make_core_and_profiles()
+        counts = interaction_counts(core, profiles)
+        assert counts[100] == 3
+        assert counts[999] == 1
+        assert 101 not in counts
+
+    def test_self_posts_ignored(self):
+        core = CoreSet(school_id=1, current_year=2012)
+        core.add_core(10, 2012, [100])
+        profiles = {
+            10: ProfileView(
+                user_id=10, name="C", wall_posts=(WallPostView(10, "me"),)
+            )
+        }
+        assert interaction_counts(core, profiles) == {}
+
+    def test_missing_profiles_skipped(self):
+        core, _ = make_core_and_profiles()
+        assert interaction_counts(core, {}) == {}
+
+
+class TestBoostedScoring:
+    def test_alpha_zero_is_paper_ranking(self):
+        core, profiles = make_core_and_profiles()
+        base = score_candidates(core)
+        boosted = score_with_interactions(core, profiles, alpha=0.0)
+        assert {u: s.score for u, s in base.scores.items()} == {
+            u: s.score for u, s in boosted.scores.items()
+        }
+
+    def test_interacting_candidate_boosted(self):
+        core, profiles = make_core_and_profiles()
+        base = score_candidates(core)
+        boosted = score_with_interactions(core, profiles, alpha=0.5)
+        assert boosted.scores[100].score > base.scores[100].score
+        # 101 never posted: unchanged.
+        assert boosted.scores[101].score == pytest.approx(base.scores[101].score)
+
+    def test_year_assignment_unchanged(self):
+        core, profiles = make_core_and_profiles()
+        base = score_candidates(core)
+        boosted = score_with_interactions(core, profiles, alpha=1.0)
+        for uid in base.scores:
+            assert base.scores[uid].year == boosted.scores[uid].year
+
+    def test_negative_alpha_rejected(self):
+        core, profiles = make_core_and_profiles()
+        with pytest.raises(ValueError):
+            score_with_interactions(core, profiles, alpha=-0.1)
+
+
+class TestSummary:
+    def test_summary_counts(self):
+        core, profiles = make_core_and_profiles()
+        stats = summarize_interactions(core, profiles)
+        assert stats.core_profiles_with_walls == 2
+        assert stats.total_posts_observed == 4
+        assert stats.candidates_with_interactions == 2
+        assert stats.has_signal
+
+
+class TestOnRealWorld:
+    def test_interaction_signal_exists_in_crawled_data(self, tiny_attack):
+        stats = summarize_interactions(tiny_attack.core, tiny_attack.profiles)
+        assert stats.core_profiles_with_walls > 0
+        assert stats.has_signal
+
+    def test_boost_does_not_hurt_coverage(self, tiny_world, tiny_attack):
+        from repro.core.evaluation import evaluate_full
+        from repro.core.profiler import AttackResult
+
+        boosted_table = score_with_interactions(
+            tiny_attack.core, tiny_attack.profiles, alpha=0.5
+        )
+        ranking = [
+            uid
+            for uid in boosted_table.ranked(exclude=set(tiny_attack.core.claimed))
+            if uid not in tiny_attack.filtered_out
+        ]
+        boosted = AttackResult(
+            school=tiny_attack.school,
+            config=tiny_attack.config,
+            current_year=tiny_attack.current_year,
+            seeds=tiny_attack.seeds,
+            core=tiny_attack.core,
+            initial_core_size=tiny_attack.initial_core_size,
+            initial_claimed_size=tiny_attack.initial_claimed_size,
+            candidates=tiny_attack.candidates,
+            scores=boosted_table,
+            ranking=ranking,
+            filtered_out=tiny_attack.filtered_out,
+            profiles=tiny_attack.profiles,
+            threshold=tiny_attack.threshold,
+            effort=tiny_attack.effort,
+        )
+        truth = tiny_world.ground_truth()
+        base_eval = evaluate_full(tiny_attack, truth, 80)
+        boost_eval = evaluate_full(boosted, truth, 80)
+        assert boost_eval.found >= base_eval.found - 5

@@ -1,0 +1,117 @@
+"""Tests for the Section-2 contact-vector assessment and campaign."""
+
+import pytest
+
+from repro.core.api import make_client
+from repro.core.extension import build_extended_profiles
+from repro.core.outreach import (
+    assess_contactability,
+    compose_personalized_message,
+    run_outreach_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def extended(tiny_world, tiny_attack):
+    client = make_client(tiny_world, 1)
+    return build_extended_profiles(tiny_attack, client, t=100)
+
+
+class TestComposeMessage:
+    def test_includes_personalization_signals(self, extended):
+        profile = next(iter(extended.values()))
+        text = compose_personalized_message(profile, ["Amy Pond", "Rory W"])
+        assert profile.school_name in text
+        assert "Amy Pond" in text
+        assert text.startswith("[simulated personalized message]")
+
+    def test_handles_no_friends(self, extended):
+        profile = next(iter(extended.values()))
+        text = compose_personalized_message(profile, [])
+        assert "your classmates" in text
+
+
+class TestAssessment:
+    def test_counts_add_up(self, extended):
+        report = assess_contactability(extended)
+        assert report.targets == len(extended)
+        assert 0 <= report.directly_messageable <= report.targets
+
+    def test_adult_registered_dominate_messageable(self, extended):
+        """Only adult-registered views carry a Message button."""
+        report = assess_contactability(extended)
+        adult_buttons = sum(
+            1
+            for p in extended.values()
+            if p.appears_registered_adult and p.view and p.view.message_button
+        )
+        assert report.directly_messageable == adult_buttons
+
+    def test_per_year_partition(self, extended):
+        report = assess_contactability(extended)
+        assert sum(t for t, _ in report.per_year.values()) <= report.targets
+        assert sum(m for _, m in report.per_year.values()) <= report.directly_messageable
+
+    def test_messageable_fraction_substantial(self, extended):
+        """The paper's point: a stranger can message a large share of
+        high-school students despite the minor-protection policy."""
+        report = assess_contactability(extended)
+        assert report.messageable_fraction > 0.25
+
+
+class TestCampaign:
+    def test_campaign_delivers_to_messageable_only(self, tiny_world, extended):
+        client = make_client(tiny_world, 1)
+        report = run_outreach_campaign(extended, client, send_messages=True)
+        assert report.messages_delivered == report.directly_messageable
+        assert report.message_failures == 0
+
+    def test_messages_land_in_inboxes(self, tiny_world, tiny_attack):
+        client = make_client(tiny_world, 1)
+        extended = build_extended_profiles(tiny_attack, client, t=100)
+        before = tiny_world.network.contact.messages_delivered
+        report = run_outreach_campaign(extended, client, send_messages=True)
+        after = tiny_world.network.contact.messages_delivered
+        assert after - before == report.messages_delivered
+        # Spot-check one recipient's inbox content.
+        recipient = next(
+            (
+                uid
+                for uid, p in extended.items()
+                if p.view is not None and p.view.message_button
+            ),
+            None,
+        )
+        if recipient is not None:
+            inbox = tiny_world.network.contact.inbox(recipient)
+            assert any("[simulated personalized message]" in m.text for m in inbox)
+
+    def test_no_minor_ever_receives_a_stranger_message(self, tiny_world, extended):
+        """Policy invariant across the campaign: registered minors'
+        inboxes stay empty of stranger messages."""
+        client = make_client(tiny_world, 1)
+        run_outreach_campaign(extended, client, send_messages=True)
+        net = tiny_world.network
+        for uid in tiny_world.registered_minor_students():
+            for message in net.contact.inbox(uid):
+                sender = net.users[message.sender_id]
+                assert not sender.is_fake
+
+    def test_friend_requests_reach_everyone(self, tiny_world, extended):
+        client = make_client(tiny_world, 1)
+        report = run_outreach_campaign(
+            extended, client, send_messages=False, send_friend_requests=True
+        )
+        assert report.friend_requests_sent == report.targets
+
+    def test_duplicate_friend_requests_rejected(self, tiny_world, extended):
+        client = make_client(tiny_world, 1)
+        first = run_outreach_campaign(
+            extended, client, send_messages=False, send_friend_requests=True
+        )
+        # Same client/account: every second request is a duplicate.
+        second = run_outreach_campaign(
+            extended, client, send_messages=False, send_friend_requests=True
+        )
+        assert second.friend_requests_sent == 0
+        assert first.friend_requests_sent > 0

@@ -1,0 +1,79 @@
+"""Tests for the extended defence portfolio (Section 8, broadened)."""
+
+import pytest
+
+from repro.core.countermeasures import DefenceOutcome, run_countermeasure_suite
+from repro.core.profiler import ProfilerConfig
+from repro.worldgen.presets import tiny
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    results = run_countermeasure_suite(
+        tiny(seed=3),
+        accounts=2,
+        config=ProfilerConfig(threshold=120, enhanced=True, filtering=True),
+        t=120,
+    )
+    return {o.name: o for o in results}
+
+
+class TestSuite:
+    def test_all_defences_evaluated(self, outcomes):
+        assert set(outcomes) == {
+            "baseline",
+            "no_reverse_lookup",
+            "age_verification",
+            "tiny_search_cap",
+            "no_school_search",
+        }
+
+    def test_baseline_attack_succeeds(self, outcomes):
+        assert outcomes["baseline"].found_percent > 60
+
+    def test_reverse_lookup_defence_degrades(self, outcomes):
+        assert (
+            outcomes["no_reverse_lookup"].found_percent
+            < outcomes["baseline"].found_percent - 15
+        )
+
+    def test_age_verification_collapses_core(self, outcomes):
+        """With verified ages the core shrinks to genuine adults and
+        coverage collapses — the law-side fix beats the site-side one."""
+        assert outcomes["age_verification"].core_size < outcomes["baseline"].core_size
+        assert (
+            outcomes["age_verification"].found_percent
+            < outcomes["no_reverse_lookup"].found_percent + 10
+        )
+
+    def test_search_throttling_barely_helps(self, outcomes):
+        """A tiny search cap shrinks seeds but the attack still works:
+        a handful of core users is enough (the paper's core was ~5%)."""
+        assert outcomes["tiny_search_cap"].seeds < outcomes["baseline"].seeds
+        assert outcomes["tiny_search_cap"].found_percent > 50
+
+    def test_removing_school_search_kills_the_attack(self, outcomes):
+        assert outcomes["no_school_search"].found_percent == 0.0
+        assert outcomes["no_school_search"].core_size == 0
+
+
+class TestSearchCapZero:
+    def test_portal_returns_nothing(self, fresh_tiny_world):
+        net = fresh_tiny_world.network
+        net.search_result_cap = 0
+        viewer = fresh_tiny_world.create_attacker_accounts(1)[0]
+        total, entries = net.school_search(
+            viewer, fresh_tiny_world.school().school_id
+        )
+        assert total == 0 and not entries
+
+    def test_graph_search_returns_nothing(self, fresh_tiny_world):
+        from repro.osn.network import GraphSearchQuery
+
+        net = fresh_tiny_world.network
+        net.search_result_cap = 0
+        viewer = fresh_tiny_world.create_attacker_accounts(1)[0]
+        results = net.graph_search(
+            viewer, GraphSearchQuery(school_id=fresh_tiny_world.school().school_id)
+        )
+        assert results == []

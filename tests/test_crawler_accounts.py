@@ -1,0 +1,49 @@
+"""Tests for the fake-account pool."""
+
+import pytest
+
+from repro.crawler.accounts import AccountPool, NoUsableAccountsError
+
+
+class TestRotation:
+    def test_round_robin(self):
+        pool = AccountPool.of([1, 2, 3])
+        assert [pool.next() for _ in range(6)] == [1, 2, 3, 1, 2, 3]
+
+    def test_disabled_accounts_skipped(self):
+        pool = AccountPool.of([1, 2, 3])
+        pool.mark_disabled(2)
+        drawn = {pool.next() for _ in range(10)}
+        assert drawn == {1, 3}
+
+    def test_all_disabled_raises(self):
+        pool = AccountPool.of([1])
+        pool.mark_disabled(1)
+        with pytest.raises(NoUsableAccountsError):
+            pool.next()
+
+    def test_usable_reflects_state(self):
+        pool = AccountPool.of([1, 2])
+        assert pool.usable == [1, 2]
+        pool.mark_disabled(1)
+        assert pool.usable == [2]
+        assert pool.is_disabled(1)
+        assert not pool.is_disabled(2)
+
+    def test_each_usable_iterates_once(self):
+        pool = AccountPool.of([4, 5, 6])
+        pool.mark_disabled(5)
+        assert list(pool.each_usable()) == [4, 6]
+
+
+class TestConstruction:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            AccountPool.of([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            AccountPool.of([1, 1])
+
+    def test_size(self):
+        assert AccountPool.of([1, 2, 3]).size == 3

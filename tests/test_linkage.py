@@ -1,0 +1,168 @@
+"""Tests for the Section-2 data-broker linkage (voter registry -> address)."""
+
+import pytest
+
+from repro.core.api import make_client
+from repro.core.extension import build_extended_profiles
+from repro.core.linkage import (
+    AddressCandidate,
+    Confidence,
+    evaluate_linkage,
+    link_home_addresses,
+)
+from repro.worldgen.records import VoterRecord, VoterRegistry, build_voter_registry
+
+
+@pytest.fixture(scope="module")
+def registry(tiny_world):
+    return build_voter_registry(
+        tiny_world.population, tiny_world.config.observation_year, seed=5
+    )
+
+
+@pytest.fixture(scope="module")
+def extended(tiny_world, tiny_attack):
+    client = make_client(tiny_world, 1)
+    return build_extended_profiles(tiny_attack, client, t=100)
+
+
+class TestVoterRegistry:
+    def test_contains_only_adults(self, registry, tiny_world):
+        obs = tiny_world.config.observation_year
+        for record in registry.records:
+            assert obs - record.birth_year >= 17.0
+
+    def test_no_minors_even_lying_ones(self, registry, tiny_world):
+        """The registry keys off REAL age - lying on Facebook does not
+        put a 15-year-old in the voter file."""
+        minors = {
+            tiny_world.population.person(pid).name.full
+            for pid in range(len(tiny_world.population))
+            if tiny_world.population.person(pid).real_age(
+                tiny_world.config.observation_year
+            )
+            < 18.0
+            and tiny_world.population.person(pid).street_address
+        }
+        registered = {f"{r.first_name} {r.last_name}" for r in registry.records}
+        # Name collisions are possible, but most minors must be absent.
+        assert len(minors & registered) < max(3, len(minors) // 4)
+
+    def test_registration_rate_respected(self, tiny_world):
+        full = build_voter_registry(
+            tiny_world.population, tiny_world.config.observation_year,
+            registration_rate=1.0,
+        )
+        partial = build_voter_registry(
+            tiny_world.population, tiny_world.config.observation_year,
+            registration_rate=0.5, seed=1,
+        )
+        assert 0.35 * len(full) < len(partial) < 0.65 * len(full)
+
+    def test_lookup_by_surname_city(self, registry):
+        record = registry.records[0]
+        hits = registry.lookup(record.last_name, record.city)
+        assert record in hits
+
+    def test_lookup_case_insensitive(self, registry):
+        record = registry.records[0]
+        assert registry.lookup(record.last_name.upper(), record.city.upper())
+
+    def test_lookup_person_exact(self, registry):
+        record = registry.records[0]
+        found = registry.lookup_person(record.first_name, record.last_name, record.city)
+        assert found is not None
+        assert found.street_address == record.street_address
+
+
+class TestLinkageUnit:
+    def test_parent_on_friend_list_high_confidence(self):
+        registry = VoterRegistry(
+            [VoterRecord("Pat", "Miller", "12 Oak St", "Smallville", 1970)]
+        )
+        from repro.core.extension import ExtendedProfile
+
+        student = ExtendedProfile(
+            user_id=1,
+            name="Kim Miller",
+            gender=None,
+            school_name="HS",
+            inferred_year=2014,
+            inferred_city="Smallville",
+            inferred_birth_year=1996,
+            appears_registered_adult=False,
+            view=None,
+            reverse_friends={42},
+        )
+        linked = link_home_addresses(
+            {1: student}, registry, friend_name_of={42: "Pat Miller"}.get
+        )
+        candidate = linked[1][0]
+        assert candidate.confidence is Confidence.HIGH
+        assert candidate.street_address == "12 Oak St"
+        assert candidate.via_friend == "Pat Miller"
+
+    def test_unique_household_medium_confidence(self):
+        registry = VoterRegistry(
+            [VoterRecord("Pat", "Miller", "12 Oak St", "Smallville", 1970)]
+        )
+        from repro.core.extension import ExtendedProfile
+
+        student = ExtendedProfile(
+            user_id=1, name="Kim Miller", gender=None, school_name="HS",
+            inferred_year=2014, inferred_city="Smallville",
+            inferred_birth_year=1996, appears_registered_adult=False, view=None,
+        )
+        linked = link_home_addresses({1: student}, registry)
+        assert linked[1][0].confidence is Confidence.MEDIUM
+
+    def test_ambiguous_surname_low_confidence(self):
+        registry = VoterRegistry(
+            [
+                VoterRecord("Pat", "Miller", "12 Oak St", "Smallville", 1970),
+                VoterRecord("Sam", "Miller", "900 Elm Ave", "Smallville", 1965),
+            ]
+        )
+        from repro.core.extension import ExtendedProfile
+
+        student = ExtendedProfile(
+            user_id=1, name="Kim Miller", gender=None, school_name="HS",
+            inferred_year=2014, inferred_city="Smallville",
+            inferred_birth_year=1996, appears_registered_adult=False, view=None,
+        )
+        linked = link_home_addresses({1: student}, registry)
+        assert all(c.confidence is Confidence.LOW for c in linked[1])
+        assert len(linked[1]) == 2
+
+    def test_no_match_yields_nothing(self):
+        registry = VoterRegistry([])
+        from repro.core.extension import ExtendedProfile
+
+        student = ExtendedProfile(
+            user_id=1, name="Kim Miller", gender=None, school_name="HS",
+            inferred_year=2014, inferred_city="Smallville",
+            inferred_birth_year=1996, appears_registered_adult=False, view=None,
+        )
+        assert link_home_addresses({1: student}, registry) == {}
+
+
+class TestLinkageEndToEnd:
+    def test_broker_pins_addresses(self, tiny_world, tiny_attack, extended, registry):
+        names = {uid: p.name for uid, p in extended.items()}
+        names.update(tiny_attack.seeds)
+
+        def friend_name_of(uid):
+            if uid in names:
+                return names[uid]
+            view = tiny_attack.profiles.get(uid)
+            return view.name if view else None
+
+        linked = link_home_addresses(extended, registry, friend_name_of)
+        assert linked  # some students linked to candidate addresses
+        evaluation = evaluate_linkage(linked, tiny_world)
+        assert evaluation.linked > 0
+        # High-confidence (parent-on-friend-list) links are very precise.
+        if evaluation.high_confidence >= 5:
+            assert evaluation.high_confidence_precision > 0.8
+        # Best-candidate precision comfortably beats random streets.
+        assert evaluation.precision_of_best > 0.1

@@ -1,0 +1,64 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.osn.clock import SECONDS_PER_YEAR, SimClock
+
+
+class TestSleep:
+    def test_sleep_advances_elapsed_seconds(self):
+        clock = SimClock(now_year=2012.0)
+        clock.sleep(120.0)
+        assert clock.elapsed_seconds == pytest.approx(120.0)
+
+    def test_sleep_advances_calendar(self):
+        clock = SimClock(now_year=2012.0)
+        clock.sleep(SECONDS_PER_YEAR / 2)
+        assert clock.now_year == pytest.approx(2012.5)
+
+    def test_sleep_zero_is_noop(self):
+        clock = SimClock(now_year=2012.0)
+        clock.sleep(0.0)
+        assert clock.elapsed_seconds == 0.0
+
+    def test_negative_sleep_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.sleep(-1.0)
+
+    def test_sleeps_accumulate(self):
+        clock = SimClock()
+        for _ in range(10):
+            clock.sleep(3.5)
+        assert clock.elapsed_seconds == pytest.approx(35.0)
+
+
+class TestCalendar:
+    def test_current_year_truncates(self):
+        assert SimClock(now_year=2012.99).current_year == 2012
+
+    def test_advance_years(self):
+        clock = SimClock(now_year=2010.0)
+        clock.advance_years(2.25)
+        assert clock.now_year == pytest.approx(2012.25)
+        assert clock.elapsed_seconds == pytest.approx(2.25 * SECONDS_PER_YEAR)
+
+    def test_advance_years_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance_years(-0.1)
+
+    def test_age_of(self):
+        clock = SimClock(now_year=2012.25)
+        assert clock.age_of(1996.25) == pytest.approx(16.0)
+
+    def test_copy_is_independent(self):
+        clock = SimClock(now_year=2012.0)
+        twin = clock.copy()
+        clock.sleep(100.0)
+        assert twin.elapsed_seconds == 0.0
+        assert twin.now_year == pytest.approx(2012.0)
+
+    def test_seconds_matches_elapsed(self):
+        clock = SimClock()
+        clock.sleep(42.0)
+        assert clock.seconds() == clock.elapsed_seconds

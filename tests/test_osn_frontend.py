@@ -1,0 +1,136 @@
+"""Tests for the HTML frontend: routing, auth, rate limiting."""
+
+import pytest
+
+from repro.osn.errors import (
+    AccountDisabledError,
+    AuthenticationError,
+    BadRequestError,
+    NotFoundError,
+    RateLimitedError,
+)
+from repro.osn.frontend import HtmlFrontend
+from repro.osn.pages import parse_profile_page, parse_school_page, parse_search_page
+from repro.osn.ratelimit import RateLimitConfig
+
+
+@pytest.fixture()
+def frontend(school_network):
+    net, school, accounts = school_network
+    return HtmlFrontend(net), school, accounts
+
+
+class TestRouting:
+    def test_profile_route(self, frontend):
+        fe, school, accounts = frontend
+        page = fe.get(accounts["crawler"].user_id, f"/profile/{accounts['alumnus'].user_id}")
+        view = parse_profile_page(page)
+        assert view.user_id == accounts["alumnus"].user_id
+
+    def test_find_friends_route(self, frontend):
+        fe, school, accounts = frontend
+        page = fe.get(
+            accounts["crawler"].user_id,
+            "/find-friends/browser",
+            {"school": str(school.school_id)},
+        )
+        listing = parse_search_page(page)
+        assert listing.total >= 1
+
+    def test_friends_route(self, frontend):
+        fe, school, accounts = frontend
+        page = fe.get(
+            accounts["crawler"].user_id,
+            f"/profile/{accounts['lying_minor'].user_id}/friends",
+        )
+        assert 'class="friend-list"' in page
+
+    def test_school_route(self, frontend):
+        fe, school, accounts = frontend
+        page = fe.get(accounts["crawler"].user_id, f"/school/{school.school_id}")
+        assert parse_school_page(page).name == school.name
+
+    def test_graphsearch_route(self, frontend):
+        fe, school, accounts = frontend
+        page = fe.get(
+            accounts["crawler"].user_id,
+            "/graphsearch",
+            {"school": str(school.school_id), "current": "1"},
+        )
+        listing = parse_search_page(page)
+        assert accounts["lying_minor"].user_id in {e.user_id for e in listing.entries}
+
+    def test_unknown_route_404(self, frontend):
+        fe, _, accounts = frontend
+        with pytest.raises(NotFoundError):
+            fe.get(accounts["crawler"].user_id, "/does/not/exist")
+
+    def test_missing_parameter_400(self, frontend):
+        fe, _, accounts = frontend
+        with pytest.raises(BadRequestError):
+            fe.get(accounts["crawler"].user_id, "/find-friends/browser")
+
+    def test_non_integer_parameter_400(self, frontend):
+        fe, _, accounts = frontend
+        with pytest.raises(BadRequestError):
+            fe.get(
+                accounts["crawler"].user_id,
+                "/find-friends/browser",
+                {"school": "abc"},
+            )
+
+    def test_request_count_increments(self, frontend):
+        fe, school, accounts = frontend
+        before = fe.request_count
+        fe.get(accounts["crawler"].user_id, f"/school/{school.school_id}")
+        assert fe.request_count == before + 1
+
+
+class TestAuthentication:
+    def test_unknown_account_rejected(self, frontend):
+        fe, school, _ = frontend
+        with pytest.raises(AuthenticationError):
+            fe.get(9999, f"/school/{school.school_id}")
+
+    def test_disabled_account_rejected(self, frontend):
+        fe, school, accounts = frontend
+        accounts["crawler"].disabled = True
+        try:
+            with pytest.raises(AuthenticationError):
+                fe.get(accounts["crawler"].user_id, f"/school/{school.school_id}")
+        finally:
+            accounts["crawler"].disabled = False
+
+
+class TestRateLimiting:
+    def test_burst_gets_throttled(self, school_network):
+        net, school, accounts = school_network
+        fe = HtmlFrontend(net, RateLimitConfig(max_requests=5, window_seconds=60))
+        uid = accounts["crawler"].user_id
+        for _ in range(5):
+            fe.get(uid, f"/school/{school.school_id}")
+        with pytest.raises(RateLimitedError):
+            fe.get(uid, f"/school/{school.school_id}")
+
+    def test_sleeping_avoids_throttle(self, school_network):
+        net, school, accounts = school_network
+        fe = HtmlFrontend(net, RateLimitConfig(max_requests=5, window_seconds=60))
+        uid = accounts["crawler"].user_id
+        for _ in range(20):
+            net.clock.sleep(15.0)
+            fe.get(uid, f"/school/{school.school_id}")  # never raises
+
+    def test_repeat_offender_disabled(self, school_network):
+        net, school, accounts = school_network
+        fe = HtmlFrontend(
+            net,
+            RateLimitConfig(max_requests=2, window_seconds=60, strikes_to_disable=2),
+        )
+        uid = accounts["crawler"].user_id
+        fe.get(uid, f"/school/{school.school_id}")
+        fe.get(uid, f"/school/{school.school_id}")
+        with pytest.raises(RateLimitedError):
+            fe.get(uid, f"/school/{school.school_id}")
+        with pytest.raises(AccountDisabledError):
+            fe.get(uid, f"/school/{school.school_id}")
+        assert fe.limiter.is_disabled(uid)

@@ -1,0 +1,259 @@
+"""Tests for the SocialNetwork: views, friend pages, search, countermeasure."""
+
+import pytest
+
+from repro.osn.clock import SimClock
+from repro.osn.errors import ForbiddenError, NotFoundError, RegistrationError
+from repro.osn.network import GraphSearchQuery, SocialNetwork
+from repro.osn.privacy import Audience, PrivacySettings, ProfileField, Relationship
+from repro.osn.profile import Birthday, Name, Profile, SchoolAffiliation
+
+
+class TestRegistration:
+    def test_under_13_registered_age_rejected(self, empty_network):
+        with pytest.raises(RegistrationError):
+            empty_network.register_account(
+                profile=Profile(name=Name("Too", "Young")),
+                registered_birthday=Birthday(2002),  # age ~10 in 2012
+            )
+
+    def test_lying_child_accepted(self, empty_network):
+        account = empty_network.register_account(
+            profile=Profile(name=Name("Lying", "Child")),
+            registered_birthday=Birthday(1994),
+            real_birthday=Birthday(2001),
+            created_at_year=2010.0,
+        )
+        assert account.lied_about_age()
+
+    def test_enforcement_can_be_disabled(self, empty_network):
+        account = empty_network.register_account(
+            profile=Profile(name=Name("No", "Coppa")),
+            registered_birthday=Birthday(2004),
+            enforce_minimum_age=False,
+        )
+        assert empty_network.is_registered_minor(account.user_id)
+
+    def test_age_check_uses_creation_time_not_now(self, empty_network):
+        # Registered 2006 at age 13 (born 1993) - fine even though the
+        # check happens "today".
+        account = empty_network.register_account(
+            profile=Profile(name=Name("Old", "Timer")),
+            registered_birthday=Birthday(1993, 0.0),
+            created_at_year=2006.5,
+        )
+        assert account.created_at_year == 2006.5
+
+    def test_unknown_user_lookup_raises(self, empty_network):
+        with pytest.raises(NotFoundError):
+            empty_network.get_account(404)
+
+
+class TestRelationships:
+    def test_stranger_when_unconnected(self, school_network):
+        net, _, accounts = school_network
+        rel = net.relationship(
+            accounts["crawler"].user_id, accounts["minor"].user_id
+        )
+        assert rel is Relationship.STRANGER
+
+    def test_logged_out_viewer_is_stranger(self, school_network):
+        net, _, accounts = school_network
+        assert net.relationship(None, accounts["minor"].user_id) is Relationship.STRANGER
+
+    def test_friend(self, school_network):
+        net, _, accounts = school_network
+        rel = net.relationship(
+            accounts["lying_minor"].user_id, accounts["minor"].user_id
+        )
+        assert rel is Relationship.FRIEND
+
+    def test_friend_of_friend(self, school_network):
+        net, _, accounts = school_network
+        rel = net.relationship(accounts["minor"].user_id, accounts["alumnus"].user_id)
+        assert rel is Relationship.FRIEND_OF_FRIEND
+
+    def test_self(self, school_network):
+        net, _, accounts = school_network
+        uid = accounts["minor"].user_id
+        assert net.relationship(uid, uid) is Relationship.SELF
+
+
+class TestProfileViews:
+    def test_minor_view_is_minimal_for_stranger(self, school_network):
+        net, _, accounts = school_network
+        view = net.view_profile(accounts["crawler"].user_id, accounts["minor"].user_id)
+        assert view.is_minimal()
+        assert not view.high_schools
+        assert not view.message_button
+        assert not view.friend_list_visible
+
+    def test_lying_minor_fully_exposed(self, school_network):
+        net, school, accounts = school_network
+        view = net.view_profile(
+            accounts["crawler"].user_id, accounts["lying_minor"].user_id
+        )
+        assert not view.is_minimal()
+        assert view.high_schools[0].graduation_year == 2014
+        assert view.friend_list_visible
+        assert view.message_button
+
+    def test_friend_sees_minor_details(self, school_network):
+        net, _, accounts = school_network
+        view = net.view_profile(
+            accounts["lying_minor"].user_id, accounts["minor"].user_id
+        )
+        assert view.high_schools  # friends see the school affiliation
+
+    def test_view_has_registered_birth_year_not_real(self, school_network):
+        net, _, accounts = school_network
+        lying = accounts["lying_minor"]
+        lying.profile.birthday = Birthday(1996)
+        lying.settings = lying.settings.with_field(
+            ProfileField.BIRTHDAY, Audience.PUBLIC
+        )
+        view = net.view_profile(accounts["crawler"].user_id, lying.user_id)
+        assert view.birthday_year == 1990  # the registered (lied) year
+
+
+class TestFriendPages:
+    def test_minor_friend_list_forbidden_to_stranger(self, school_network):
+        net, _, accounts = school_network
+        with pytest.raises(ForbiddenError):
+            net.friend_page(accounts["crawler"].user_id, accounts["minor"].user_id)
+
+    def test_adult_friend_list_paginates(self, empty_network):
+        net = empty_network
+        owner = net.register_account(
+            profile=Profile(name=Name("Pop", "Ular")),
+            registered_birthday=Birthday(1985),
+            settings=PrivacySettings.facebook_adult_default_2012(),
+        )
+        for i in range(45):
+            friend = net.register_account(
+                profile=Profile(name=Name("F", str(i))),
+                registered_birthday=Birthday(1985),
+            )
+            net.add_friendship(owner.user_id, friend.user_id)
+        total, page0 = net.friend_page(None, owner.user_id, 0)
+        total2, page2 = net.friend_page(None, owner.user_id, 40)
+        assert total == total2 == 45
+        assert len(page0) == net.friends_page_size == 20
+        assert len(page2) == 5
+
+    def test_reverse_lookup_countermeasure_hides_minors(self, school_network):
+        net, _, accounts = school_network
+        lying = accounts["lying_minor"].user_id
+        viewer = accounts["crawler"].user_id
+        total_before, _ = net.friend_page(viewer, lying)
+        net.reverse_lookup_enabled = False
+        try:
+            total_after, entries = net.friend_page(viewer, lying)
+        finally:
+            net.reverse_lookup_enabled = True
+        # the truthful minor's friend list is hidden, so they vanish
+        assert total_before == 2
+        member_ids = {e.user_id for e in entries}
+        assert accounts["minor"].user_id not in member_ids
+        # the alumnus (public list) is still visible
+        assert accounts["alumnus"].user_id in member_ids
+
+
+class TestSchoolSearch:
+    def test_search_excludes_registered_minors(self, school_network):
+        net, school, accounts = school_network
+        _, entries = net.school_search(accounts["crawler"].user_id, school.school_id)
+        ids = {e.user_id for e in entries}
+        assert accounts["minor"].user_id not in ids
+        assert accounts["lying_minor"].user_id in ids
+        assert accounts["alumnus"].user_id in ids
+
+    def test_search_unknown_school_raises(self, school_network):
+        net, _, accounts = school_network
+        with pytest.raises(NotFoundError):
+            net.school_search(accounts["crawler"].user_id, 999)
+
+    def test_search_cap_and_account_variation(self, empty_network):
+        net = empty_network
+        net.search_result_cap = 10
+        school = net.register_school("Big High", "Metropolis")
+        for i in range(50):
+            net.register_account(
+                profile=Profile(
+                    name=Name("A", str(i)),
+                    high_schools=(SchoolAffiliation(school.school_id, school.name, 2005),),
+                ),
+                registered_birthday=Birthday(1985),
+                settings=PrivacySettings.facebook_adult_default_2012(),
+            )
+        viewer_a = net.register_account(
+            profile=Profile(name=Name("V", "A")), registered_birthday=Birthday(1980)
+        )
+        viewer_b = net.register_account(
+            profile=Profile(name=Name("V", "B")), registered_birthday=Birthday(1980)
+        )
+        total_a, page_a = net.school_search(viewer_a.user_id, school.school_id)
+        total_b, page_b = net.school_search(viewer_b.user_id, school.school_id)
+        assert total_a == total_b == 10
+        # different accounts get (deterministically) different samples
+        assert {e.user_id for e in page_a} != {e.user_id for e in page_b}
+        # and the same account always gets the same sample
+        total_a2, page_a2 = net.school_search(viewer_a.user_id, school.school_id)
+        assert [e.user_id for e in page_a] == [e.user_id for e in page_a2]
+
+
+class TestGraphSearch:
+    def test_current_students_only(self, school_network):
+        net, school, accounts = school_network
+        query = GraphSearchQuery(school_id=school.school_id, current_students_only=True)
+        results = net.graph_search(accounts["crawler"].user_id, query)
+        ids = {e.user_id for e in results}
+        assert accounts["lying_minor"].user_id in ids
+        assert accounts["alumnus"].user_id not in ids
+
+    def test_year_filters(self, school_network):
+        net, school, accounts = school_network
+        before = net.graph_search(
+            accounts["crawler"].user_id,
+            GraphSearchQuery(school_id=school.school_id, year_op="before", year=2010),
+        )
+        assert {e.user_id for e in before} == {accounts["alumnus"].user_id}
+        exact = net.graph_search(
+            accounts["crawler"].user_id,
+            GraphSearchQuery(school_id=school.school_id, year_op="in", year=2014),
+        )
+        assert {e.user_id for e in exact} == {accounts["lying_minor"].user_id}
+
+    def test_city_filter(self, school_network):
+        net, school, accounts = school_network
+        results = net.graph_search(
+            accounts["crawler"].user_id,
+            GraphSearchQuery(school_id=school.school_id, current_city="Springfield"),
+        )
+        assert {e.user_id for e in results} == {accounts["lying_minor"].user_id}
+
+    def test_bad_year_op_raises(self, school_network):
+        net, school, accounts = school_network
+        with pytest.raises(ValueError):
+            net.graph_search(
+                accounts["crawler"].user_id,
+                GraphSearchQuery(school_id=school.school_id, year_op="near", year=2012),
+            )
+
+    def test_never_returns_registered_minors(self, school_network):
+        net, school, accounts = school_network
+        results = net.graph_search(
+            accounts["crawler"].user_id,
+            GraphSearchQuery(school_id=school.school_id),
+        )
+        assert accounts["minor"].user_id not in {e.user_id for e in results}
+
+
+class TestStats:
+    def test_population_stats_counts(self, school_network):
+        net, _, accounts = school_network
+        stats = net.population_stats()
+        assert stats["users"] == 4
+        assert stats["registered_minors"] == 1
+        assert stats["age_liars"] == 1
+        assert stats["edges"] == 2

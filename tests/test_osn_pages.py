@@ -1,0 +1,176 @@
+"""Round-trip tests for HTML render/parse pairs, including hypothesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.osn.errors import ParseError
+from repro.osn.network import DirectoryEntry, School
+from repro.osn.pages import (
+    ListingPage,
+    parse_friends_page,
+    parse_profile_page,
+    parse_school_page,
+    parse_search_page,
+    render_friends_page,
+    render_profile_page,
+    render_school_page,
+    render_search_page,
+)
+from repro.osn.profile import Gender, SchoolAffiliation
+from repro.osn.view import ProfileView
+
+# Text that stresses HTML escaping but stays printable.
+tricky_text = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("L", "N", "P", "S", "Zs"),
+        blacklist_characters="\r\n",
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def make_view(**overrides) -> ProfileView:
+    base = dict(
+        user_id=42,
+        name="Jane O'Neil <3 & co",
+        gender=Gender.FEMALE,
+        networks=("Net & One",),
+        has_profile_photo=True,
+        high_schools=(SchoolAffiliation(7, 'St. "Mary" & Sons', 2014),),
+        relationship_status="Single",
+        interested_in="Men",
+        birthday_year=1994,
+        hometown="Spring<field>",
+        current_city="East & West",
+        employer="Acme & Co",
+        graduate_school="State U",
+        photo_count=12,
+        wall_post_count=3,
+        contact_email="a&b@example.com",
+        contact_phone="555-0100",
+        friend_list_visible=True,
+        message_button=True,
+        public_search_listed=True,
+    )
+    base.update(overrides)
+    return ProfileView(**base)
+
+
+class TestProfileRoundTrip:
+    def test_full_profile_round_trips(self):
+        view = make_view()
+        assert parse_profile_page(render_profile_page(view)) == view
+
+    def test_minimal_profile_round_trips(self):
+        view = ProfileView(user_id=9, name="Min Imal")
+        parsed = parse_profile_page(render_profile_page(view))
+        assert parsed == view
+        assert parsed.is_minimal()
+
+    def test_school_without_year_round_trips(self):
+        view = make_view(
+            high_schools=(SchoolAffiliation(3, "No Year High", None),)
+        )
+        parsed = parse_profile_page(render_profile_page(view))
+        assert parsed.high_schools[0].graduation_year is None
+
+    def test_multiple_schools_preserved_in_order(self):
+        view = make_view(
+            high_schools=(
+                SchoolAffiliation(1, "First High", 2010),
+                SchoolAffiliation(2, "Second High", 2014),
+            )
+        )
+        parsed = parse_profile_page(render_profile_page(view))
+        assert [a.school_id for a in parsed.high_schools] == [1, 2]
+
+    def test_garbage_page_raises_parse_error(self):
+        with pytest.raises(ParseError):
+            parse_profile_page("<html><body>nothing here</body></html>")
+
+    @given(name=tricky_text, hometown=tricky_text, school=tricky_text)
+    @settings(max_examples=80)
+    def test_escaping_fuzz(self, name, hometown, school):
+        view = make_view(
+            name=name,
+            hometown=hometown,
+            high_schools=(SchoolAffiliation(5, school, 2013),),
+        )
+        parsed = parse_profile_page(render_profile_page(view))
+        assert parsed.name == name
+        assert parsed.hometown == hometown
+        assert parsed.high_schools[0].school_name == school
+
+    @given(
+        photo=st.booleans(),
+        friends=st.booleans(),
+        message=st.booleans(),
+        search=st.booleans(),
+    )
+    @settings(max_examples=32)
+    def test_flag_combinations(self, photo, friends, message, search):
+        view = make_view(
+            has_profile_photo=photo,
+            friend_list_visible=friends,
+            message_button=message,
+            public_search_listed=search,
+        )
+        parsed = parse_profile_page(render_profile_page(view))
+        assert parsed.has_profile_photo == photo
+        assert parsed.friend_list_visible == friends
+        assert parsed.message_button == message
+        assert parsed.public_search_listed == search
+
+
+entries_strategy = st.lists(
+    st.tuples(st.integers(1, 10_000), tricky_text), max_size=20, unique_by=lambda t: t[0]
+).map(lambda pairs: [DirectoryEntry(uid, name) for uid, name in pairs])
+
+
+class TestListingRoundTrips:
+    def test_friends_page_round_trips(self):
+        entries = [DirectoryEntry(1, "A & B"), DirectoryEntry(2, "C <D>")]
+        page = render_friends_page(99, 42, 20, entries)
+        parsed = parse_friends_page(page)
+        assert parsed == ListingPage(total=42, offset=20, entries=tuple(entries))
+
+    def test_next_offset_advances(self):
+        entries = [DirectoryEntry(i, f"U{i}") for i in range(20)]
+        parsed = parse_friends_page(render_friends_page(1, 50, 0, entries))
+        assert parsed.next_offset == 20
+
+    def test_next_offset_none_at_end(self):
+        entries = [DirectoryEntry(i, f"U{i}") for i in range(10)]
+        parsed = parse_friends_page(render_friends_page(1, 10, 0, entries))
+        assert parsed.next_offset is None
+
+    def test_search_page_round_trips(self):
+        entries = [DirectoryEntry(5, "Emma")]
+        parsed = parse_search_page(render_search_page(1, 0, entries))
+        assert parsed.entries == tuple(entries)
+
+    def test_friend_parser_rejects_search_page(self):
+        page = render_search_page(1, 0, [DirectoryEntry(5, "Emma")])
+        with pytest.raises(ParseError):
+            parse_friends_page(page)
+
+    @given(entries=entries_strategy, total_extra=st.integers(0, 100))
+    @settings(max_examples=60)
+    def test_listing_fuzz(self, entries, total_extra):
+        total = len(entries) + total_extra
+        parsed = parse_search_page(render_search_page(total, 0, entries))
+        assert list(parsed.entries) == entries
+        assert parsed.total == total
+
+
+class TestSchoolPage:
+    def test_round_trips(self):
+        school = School(3, 'Jo & "Flo" High', "East <Side>", 1500)
+        assert parse_school_page(render_school_page(school)) == school
+
+    def test_missing_enrollment_hint(self):
+        school = School(3, "Hintless High", "Nowhere", None)
+        parsed = parse_school_page(render_school_page(school))
+        assert parsed.enrollment_hint is None

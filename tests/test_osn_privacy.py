@@ -1,0 +1,131 @@
+"""Unit tests for audiences, relationships and privacy settings."""
+
+import pytest
+
+from repro.osn.privacy import (
+    EXTENDED_FIELDS,
+    MINIMAL_FIELDS,
+    Audience,
+    PrivacySettings,
+    ProfileField,
+    Relationship,
+    most_private,
+)
+
+
+class TestRelationshipSatisfies:
+    def test_self_sees_everything(self):
+        for audience in Audience:
+            assert Relationship.SELF.satisfies(audience)
+
+    def test_everyone_sees_public(self):
+        for rel in Relationship:
+            assert rel.satisfies(Audience.PUBLIC)
+
+    def test_stranger_blocked_from_friends_only(self):
+        assert not Relationship.STRANGER.satisfies(Audience.FRIENDS)
+
+    def test_stranger_blocked_from_fof(self):
+        assert not Relationship.STRANGER.satisfies(Audience.FRIENDS_OF_FRIENDS)
+
+    def test_network_member_blocked_from_fof(self):
+        assert not Relationship.NETWORK_MEMBER.satisfies(Audience.FRIENDS_OF_FRIENDS)
+
+    def test_fof_sees_fof_content(self):
+        assert Relationship.FRIEND_OF_FRIEND.satisfies(Audience.FRIENDS_OF_FRIENDS)
+
+    def test_fof_blocked_from_friends_only(self):
+        assert not Relationship.FRIEND_OF_FRIEND.satisfies(Audience.FRIENDS)
+
+    def test_friend_sees_friends_content(self):
+        assert Relationship.FRIEND.satisfies(Audience.FRIENDS)
+
+    def test_nobody_but_self_sees_only_me(self):
+        for rel in (
+            Relationship.STRANGER,
+            Relationship.NETWORK_MEMBER,
+            Relationship.FRIEND_OF_FRIEND,
+            Relationship.FRIEND,
+        ):
+            assert not rel.satisfies(Audience.ONLY_ME)
+
+
+class TestPrivacySettings:
+    def test_default_audience_used_for_unset_fields(self):
+        settings = PrivacySettings(default=Audience.FRIENDS)
+        assert settings.audience_for(ProfileField.PHOTOS) is Audience.FRIENDS
+
+    def test_with_field_overrides_one(self):
+        settings = PrivacySettings().with_field(ProfileField.BIRTHDAY, Audience.PUBLIC)
+        assert settings.audience_for(ProfileField.BIRTHDAY) is Audience.PUBLIC
+
+    def test_with_field_does_not_mutate_original(self):
+        original = PrivacySettings()
+        original.with_field(ProfileField.BIRTHDAY, Audience.PUBLIC)
+        assert original.audience_for(ProfileField.BIRTHDAY) is original.default
+
+    def test_with_fields_bulk(self):
+        settings = PrivacySettings().with_fields(
+            {
+                ProfileField.PHOTOS: Audience.ONLY_ME,
+                ProfileField.WALL: Audience.PUBLIC,
+            }
+        )
+        assert settings.audience_for(ProfileField.PHOTOS) is Audience.ONLY_ME
+        assert settings.audience_for(ProfileField.WALL) is Audience.PUBLIC
+
+    def test_everything_public_is_public_everywhere(self):
+        settings = PrivacySettings.everything_public()
+        for field in ProfileField:
+            assert settings.audience_for(field) is Audience.PUBLIC
+        assert settings.public_search
+        assert settings.message_audience is Audience.PUBLIC
+
+    def test_everything_private_is_only_me_everywhere(self):
+        settings = PrivacySettings.everything_private()
+        for field in ProfileField:
+            assert settings.audience_for(field) is Audience.ONLY_ME
+        assert not settings.public_search
+
+    def test_adult_default_friend_list_public(self):
+        settings = PrivacySettings.facebook_adult_default_2012()
+        assert settings.audience_for(ProfileField.FRIEND_LIST) is Audience.PUBLIC
+
+    def test_adult_default_contact_private(self):
+        settings = PrivacySettings.facebook_adult_default_2012()
+        assert settings.audience_for(ProfileField.CONTACT_INFO) is Audience.FRIENDS
+
+    def test_minor_default_not_publicly_searchable(self):
+        assert not PrivacySettings.facebook_minor_default_2012().public_search
+
+    def test_minor_default_minimal_fields_public(self):
+        settings = PrivacySettings.facebook_minor_default_2012()
+        for field in MINIMAL_FIELDS:
+            assert settings.audience_for(field) is Audience.PUBLIC
+
+
+class TestFieldSets:
+    def test_minimal_fields_are_the_papers_four(self):
+        assert MINIMAL_FIELDS == {
+            ProfileField.NAME,
+            ProfileField.GENDER,
+            ProfileField.NETWORKS,
+            ProfileField.PROFILE_PHOTO,
+        }
+
+    def test_extended_fields_disjoint_from_minimal(self):
+        assert not (set(EXTENDED_FIELDS) & MINIMAL_FIELDS)
+
+    def test_every_field_is_minimal_or_extended(self):
+        assert set(EXTENDED_FIELDS) | MINIMAL_FIELDS == set(ProfileField)
+
+
+class TestMostPrivate:
+    def test_picks_strictest(self):
+        assert (
+            most_private([Audience.PUBLIC, Audience.FRIENDS, Audience.ONLY_ME])
+            is Audience.ONLY_ME
+        )
+
+    def test_empty_defaults_public(self):
+        assert most_private([]) is Audience.PUBLIC

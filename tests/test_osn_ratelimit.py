@@ -1,0 +1,97 @@
+"""Unit tests for the sliding-window rate limiter."""
+
+import pytest
+
+from repro.osn.clock import SimClock
+from repro.osn.errors import AccountDisabledError, RateLimitedError
+from repro.osn.ratelimit import RateLimitConfig, RateLimiter
+
+
+@pytest.fixture()
+def limiter():
+    clock = SimClock()
+    return clock, RateLimiter(
+        clock, RateLimitConfig(max_requests=3, window_seconds=10, strikes_to_disable=3)
+    )
+
+
+class TestWindow:
+    def test_under_limit_passes(self, limiter):
+        _, rl = limiter
+        for _ in range(3):
+            rl.check(1)
+
+    def test_over_limit_raises(self, limiter):
+        _, rl = limiter
+        for _ in range(3):
+            rl.check(1)
+        with pytest.raises(RateLimitedError):
+            rl.check(1)
+
+    def test_window_slides(self, limiter):
+        clock, rl = limiter
+        for _ in range(3):
+            rl.check(1)
+        clock.sleep(10.1)
+        rl.check(1)  # old requests aged out
+
+    def test_retry_after_positive(self, limiter):
+        _, rl = limiter
+        for _ in range(3):
+            rl.check(1)
+        with pytest.raises(RateLimitedError) as excinfo:
+            rl.check(1)
+        assert excinfo.value.retry_after > 0
+
+    def test_accounts_isolated(self, limiter):
+        _, rl = limiter
+        for _ in range(3):
+            rl.check(1)
+        rl.check(2)  # other account unaffected
+
+    def test_requests_in_window_counts(self, limiter):
+        clock, rl = limiter
+        rl.check(1)
+        rl.check(1)
+        assert rl.requests_in_window(1) == 2
+        clock.sleep(11)
+        assert rl.requests_in_window(1) == 0
+
+
+class TestStrikes:
+    def test_strikes_accumulate_then_disable(self, limiter):
+        _, rl = limiter
+        for _ in range(3):
+            rl.check(1)
+        for _ in range(2):
+            with pytest.raises(RateLimitedError):
+                rl.check(1)
+        assert rl.strikes(1) == 2
+        with pytest.raises(AccountDisabledError):
+            rl.check(1)
+        assert rl.is_disabled(1)
+
+    def test_disabled_account_stays_disabled(self, limiter):
+        clock, rl = limiter
+        for _ in range(3):
+            rl.check(1)
+        for _ in range(3):
+            with pytest.raises((RateLimitedError, AccountDisabledError)):
+                rl.check(1)
+        clock.sleep(1000)
+        with pytest.raises(AccountDisabledError):
+            rl.check(1)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_requests": 0},
+            {"window_seconds": 0},
+            {"strikes_to_disable": 0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RateLimitConfig(**kwargs).validate()

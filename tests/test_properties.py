@@ -1,0 +1,148 @@
+"""System-wide privacy invariants, enforced property-style.
+
+These are the guarantees the paper says Facebook provides (and which the
+attack circumvents *without violating*): registered minors never leak
+more than minimal information to strangers, never appear in school
+search, and are never messageable by strangers — no matter how their
+settings are configured.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.osn.clock import SimClock
+from repro.osn.network import SocialNetwork
+from repro.osn.privacy import Audience, PrivacySettings, ProfileField
+from repro.osn.profile import Birthday, ContactInfo, Name, Profile, SchoolAffiliation
+
+audiences = st.sampled_from(list(Audience))
+settings_strategy = st.builds(
+    PrivacySettings,
+    audiences=st.dictionaries(st.sampled_from(list(ProfileField)), audiences, max_size=10),
+    default=audiences,
+    public_search=st.booleans(),
+    message_audience=audiences,
+)
+
+
+def build_net_with(settings_obj, registered_year):
+    net = SocialNetwork(clock=SimClock(now_year=2012.25))
+    school = net.register_school("Inv High", "Invtown")
+    target = net.register_account(
+        profile=Profile(
+            name=Name("Target", "User"),
+            high_schools=(SchoolAffiliation(school.school_id, school.name, 2014),),
+            birthday=Birthday(registered_year),
+            hometown="Invtown",
+            current_city="Invtown",
+            photo_count=9,
+            contact_info=ContactInfo(email="t@example.com", phone="555"),
+            relationship_status="Single",
+            interested_in="Men",
+        ),
+        registered_birthday=Birthday(registered_year),
+        settings=settings_obj,
+        enforce_minimum_age=False,
+    )
+    stranger = net.register_account(
+        profile=Profile(name=Name("Str", "Anger")),
+        registered_birthday=Birthday(1980),
+        settings=PrivacySettings.everything_private(),
+    )
+    return net, school, target, stranger
+
+
+class TestMinorInvariants:
+    @given(settings_strategy)
+    @settings(max_examples=60)
+    def test_stranger_view_of_minor_always_minimal(self, settings_obj):
+        net, _, target, stranger = build_net_with(settings_obj, 1997)
+        view = net.view_profile(stranger.user_id, target.user_id)
+        assert view.is_minimal()
+
+    @given(settings_strategy)
+    @settings(max_examples=60)
+    def test_minor_never_in_school_search(self, settings_obj):
+        net, school, target, stranger = build_net_with(settings_obj, 1997)
+        _, entries = net.school_search(stranger.user_id, school.school_id)
+        assert target.user_id not in {e.user_id for e in entries}
+
+    @given(settings_strategy)
+    @settings(max_examples=60)
+    def test_minor_friend_list_never_stranger_visible(self, settings_obj):
+        from repro.osn.errors import ForbiddenError
+
+        net, _, target, stranger = build_net_with(settings_obj, 1997)
+        with pytest.raises(ForbiddenError):
+            net.friend_page(stranger.user_id, target.user_id)
+
+    @given(settings_strategy)
+    @settings(max_examples=60)
+    def test_adult_view_respects_settings_cap(self, settings_obj):
+        """An adult's stranger view never shows a field whose effective
+        audience excludes strangers."""
+        net, _, target, stranger = build_net_with(settings_obj, 1985)
+        view = net.view_profile(stranger.user_id, target.user_id)
+        if not settings_obj.audience_for(ProfileField.CONTACT_INFO) == Audience.PUBLIC:
+            assert view.contact_email is None
+        if not settings_obj.audience_for(ProfileField.BIRTHDAY) == Audience.PUBLIC:
+            assert view.birthday_year is None
+
+
+class TestWorldInvariants:
+    def test_no_stranger_leak_across_whole_world(self, tiny_world):
+        """Sweep every account: registered minors are minimal to strangers."""
+        net = tiny_world.network
+        for uid, account in net.users.items():
+            if net.is_registered_minor(uid):
+                assert net.view_profile(None, uid).is_minimal()
+
+    def test_search_returns_no_minors_any_school(self, tiny_world):
+        net = tiny_world.network
+        viewer = tiny_world.create_attacker_accounts(1)[0]
+        for school_id in net.schools:
+            offset = 0
+            while True:
+                total, entries = net.school_search(viewer, school_id, offset)
+                for entry in entries:
+                    assert not net.is_registered_minor(entry.user_id)
+                offset += len(entries)
+                if offset >= total or not entries:
+                    break
+
+    def test_attack_never_reads_ground_truth(self, tiny_attack, tiny_world):
+        """Every uid the attack knows was reachable via public surface:
+        seeds are searchable adults; candidates appear in some crawled
+        public friend list."""
+        net = tiny_world.network
+        now = net.clock.now_year
+        for uid in tiny_attack.seeds:
+            assert not net.users[uid].is_registered_minor(now)
+        listed = {
+            friend
+            for friends in tiny_attack.core.friend_lists.values()
+            for friend in friends
+        }
+        assert tiny_attack.candidates <= listed
+
+
+class TestSimClockDeterminism:
+    def test_attack_is_deterministic(self):
+        """Same seed, same world, same attack -> identical inference."""
+        from repro.core.api import run_attack
+        from repro.core.profiler import ProfilerConfig
+        from repro.worldgen.presets import tiny
+        from repro.worldgen.world import build_world
+
+        results = []
+        for _ in range(2):
+            world = build_world(tiny(seed=31))
+            result = run_attack(
+                world, accounts=2, config=ProfilerConfig(threshold=100, enhanced=True)
+            )
+            results.append(result)
+        assert results[0].ranking == results[1].ranking
+        assert results[0].select(100) == results[1].select(100)

@@ -1,0 +1,63 @@
+"""Tests for the alternative seed-collection surfaces (Graph Search)."""
+
+import pytest
+
+from repro.core.api import make_client, run_attack
+from repro.core.profiler import ProfilerConfig
+
+
+class TestGraphSearchSeeds:
+    def test_no_registered_minors_in_graph_seeds(self, tiny_world):
+        client = make_client(tiny_world, 1)
+        current = tiny_world.network.clock.current_year
+        seeds = client.collect_seeds_graph_search(
+            tiny_world.school().school_id,
+            years=list(range(current - 5, current + 4)),
+        )
+        net = tiny_world.network
+        for uid in seeds:
+            assert not net.is_registered_minor(uid)
+
+    def test_year_refinements_add_coverage(self, tiny_world):
+        client = make_client(tiny_world, 1)
+        school_id = tiny_world.school().school_id
+        current = tiny_world.network.clock.current_year
+        broad = client.collect_seeds_graph_search(school_id)
+        refined = client.collect_seeds_graph_search(
+            school_id, years=list(range(current - 5, current + 4))
+        )
+        assert set(broad) <= set(refined)
+
+    def test_profiler_accepts_each_source(self, tiny_world):
+        for source in ("portal", "graph_search", "both"):
+            result = run_attack(
+                tiny_world,
+                accounts=2,
+                config=ProfilerConfig(threshold=100, seed_source=source),
+            )
+            assert result.seeds
+
+    def test_both_is_superset_of_portal(self, tiny_world):
+        from repro.crawler.accounts import AccountPool
+        from repro.crawler.client import CrawlClient
+
+        account_ids = tiny_world.create_attacker_accounts(2)
+        portal = run_attack(
+            tiny_world,
+            config=ProfilerConfig(threshold=100, seed_source="portal"),
+            client=CrawlClient(tiny_world.frontend, AccountPool.of(list(account_ids))),
+        )
+        both = run_attack(
+            tiny_world,
+            config=ProfilerConfig(threshold=100, seed_source="both"),
+            client=CrawlClient(tiny_world.frontend, AccountPool.of(list(account_ids))),
+        )
+        assert set(portal.seeds) <= set(both.seeds)
+
+    def test_unknown_source_rejected(self, tiny_world):
+        with pytest.raises(ValueError):
+            run_attack(
+                tiny_world,
+                accounts=1,
+                config=ProfilerConfig(threshold=100, seed_source="carrier_pigeon"),
+            )

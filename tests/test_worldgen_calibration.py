@@ -1,0 +1,46 @@
+"""Tests for the calibration-validation loop."""
+
+import pytest
+
+from repro.worldgen.calibration import CalibrationRow, calibrate
+from repro.worldgen.presets import hs1
+from repro.worldgen.world import build_world
+
+
+class TestCalibrationRow:
+    def test_deviation(self):
+        row = CalibrationRow("m", target=0.5, measured=0.6)
+        assert row.deviation == pytest.approx(0.1)
+
+    def test_within_small_absolute_tolerance(self):
+        assert CalibrationRow("m", 0.05, 0.10).within
+        assert not CalibrationRow("m", 0.05, 0.30).within
+
+    def test_within_relative_tolerance_for_large_targets(self):
+        assert CalibrationRow("photos", 50.0, 60.0).within
+        assert not CalibrationRow("photos", 50.0, 80.0).within
+
+
+class TestWorldCalibration:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return calibrate(build_world(hs1()))
+
+    def test_all_declared_metrics_measured(self, report):
+        metrics = {row.metric for row in report.rows}
+        assert "adult students: public friend list" in metrics
+        assert "adult students: mean photos" in metrics
+        assert "students: OSN adoption" in metrics
+
+    def test_hs1_world_is_calibrated(self, report):
+        """The shipped preset matches its own declared targets."""
+        assert report.ok, report.describe()
+
+    def test_describe_lists_each_metric(self, report):
+        text = report.describe()
+        for row in report.rows:
+            assert row.metric in text
+
+    def test_tiny_world_calibrated_too(self, tiny_world):
+        report = calibrate(tiny_world)
+        assert report.ok, report.describe()

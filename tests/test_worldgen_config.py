@@ -1,0 +1,79 @@
+"""Tests for world configuration and presets."""
+
+import pytest
+
+from repro.worldgen.config import (
+    FriendshipConfig,
+    LyingConfig,
+    SchoolConfig,
+    WorldConfig,
+)
+from repro.worldgen.presets import PRESETS, hs1, hs2, hs3, preset, tiny
+
+
+class TestSchoolConfig:
+    def test_cohort_size(self):
+        assert SchoolConfig("X", "Y", enrollment=362).cohort_size == 90
+
+    def test_cohort_size_never_zero(self):
+        assert SchoolConfig("X", "Y", enrollment=2).cohort_size == 1
+
+
+class TestWithoutCoppa:
+    def test_disables_lying_and_age_ban(self):
+        config = hs1().without_coppa()
+        assert not config.lying.enabled
+        assert not config.enforce_minimum_age
+
+    def test_leaves_other_settings_untouched(self):
+        base = hs1()
+        counter = base.without_coppa()
+        assert counter.schools == base.schools
+        assert counter.students == base.students
+        assert counter.seed == base.seed
+
+    def test_with_seed(self):
+        assert hs1().with_seed(77).seed == 77
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_presets_validate(self, name):
+        preset(name).validate()
+
+    def test_preset_seed_override(self):
+        assert preset("hs1", seed=123).seed == 123
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            preset("hs9")
+
+    def test_hs1_is_small_private(self):
+        config = hs1()
+        assert config.schools[0].enrollment == 362
+        assert config.schools[0].churn_out_rate >= 0.10
+
+    def test_hs2_hs3_are_large(self):
+        for config in (hs2(), hs3()):
+            assert config.schools[0].enrollment == 1500
+
+    def test_hs3_shares_hs2_scale_but_differs(self):
+        assert hs3().students.p_adult_friend_list_public > hs2().students.p_adult_friend_list_public
+
+    def test_tiny_is_fast(self):
+        assert tiny().schools[0].enrollment <= 200
+        assert tiny().externals.size <= 2000
+
+
+class TestValidation:
+    def test_bad_claim_weights_rejected(self):
+        config = WorldConfig(
+            lying=LyingConfig(
+                claim_13_weight=0, claim_midteen_weight=0, claim_adult_weight=0
+            )
+        )
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_default_config_is_valid(self):
+        WorldConfig().validate()

@@ -1,0 +1,72 @@
+"""Tests for world snapshot export/import."""
+
+import json
+
+import pytest
+
+from repro.worldgen.export import export_world_json, load_world_export, world_summary
+
+
+class TestSummary:
+    def test_aggregates_present(self, tiny_world):
+        summary = world_summary(tiny_world)
+        for key in (
+            "population_by_role",
+            "accounts",
+            "age_liar_fraction",
+            "registered_minors",
+            "edges",
+            "mean_degree",
+            "schools",
+        ):
+            assert key in summary
+
+    def test_counts_consistent_with_world(self, tiny_world):
+        summary = world_summary(tiny_world)
+        truth = tiny_world.ground_truth()
+        school = summary["schools"][0]
+        assert school["on_osn"] == truth.on_osn_count
+        assert school["enrolled"] == truth.enrolled_count
+        assert summary["edges"] == tiny_world.network.graph.edge_count()
+
+    def test_no_individual_data_in_summary(self, tiny_world):
+        """The aggregate view must not contain any person's name."""
+        summary = json.dumps(world_summary(tiny_world))
+        some_person = tiny_world.population.people[0]
+        assert some_person.name.full not in summary
+
+    def test_liar_fraction_in_unit_interval(self, tiny_world):
+        summary = world_summary(tiny_world)
+        assert 0.0 < summary["age_liar_fraction"] < 1.0
+
+
+class TestExportRoundTrip:
+    def test_aggregate_only_by_default(self, tiny_world, tmp_path):
+        path = str(tmp_path / "world.json")
+        export_world_json(tiny_world, path)
+        loaded = load_world_export(path)
+        assert "summary" in loaded
+        assert "users" not in loaded
+
+    def test_full_dump_round_trips(self, tiny_world, tmp_path):
+        path = str(tmp_path / "world_full.json")
+        written = export_world_json(tiny_world, path, include_individuals=True)
+        loaded = load_world_export(path)
+        assert loaded["summary"]["seed"] == tiny_world.config.seed
+        assert len(loaded["users"]) == len(written["users"])
+        assert len(loaded["edges"]) == tiny_world.network.graph.edge_count()
+
+    def test_full_dump_excludes_fake_accounts(self, fresh_tiny_world, tmp_path):
+        fresh_tiny_world.create_attacker_accounts(3)
+        path = str(tmp_path / "world.json")
+        written = export_world_json(fresh_tiny_world, path, include_individuals=True)
+        names = {u["name"] for u in written["users"]}
+        assert not any(name.startswith("Crawl ") for name in names)
+
+    def test_dump_records_lying(self, tiny_world, tmp_path):
+        path = str(tmp_path / "world.json")
+        written = export_world_json(tiny_world, path, include_individuals=True)
+        liars = [u for u in written["users"] if u["lied"]]
+        assert liars
+        for user in liars[:20]:
+            assert user["registered_birth_year"] != user["real_birth_year"]

@@ -1,0 +1,114 @@
+"""Tests for the friendship builder's structural guarantees."""
+
+import random
+
+import pytest
+
+from repro.worldgen import friendship as friendship_mod
+from repro.worldgen.population import Role
+from repro.worldgen.presets import tiny
+from repro.worldgen.world import build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(tiny(seed=23))
+
+
+class TestAttendanceWindows:
+    def test_student_window_ends_now(self, world):
+        now = world.config.observation_year
+        for pid in world.population.students_by_school[0][2013][:10]:
+            person = world.population.person(pid)
+            start, end = friendship_mod._attendance_window(person, now)
+            assert end == pytest.approx(now)
+            assert start < end
+
+    def test_former_student_window_in_past(self, world):
+        now = world.config.observation_year
+        for pid in world.population.former_by_school[0][:10]:
+            person = world.population.person(pid)
+            start, end = friendship_mod._attendance_window(person, now)
+            assert end < now
+            assert start < end
+
+    def test_alumnus_window_ends_at_graduation(self, world):
+        now = world.config.observation_year
+        cohort = sorted(world.population.alumni_by_school[0])[0]
+        for pid in world.population.alumni_by_school[0][cohort][:10]:
+            person = world.population.person(pid)
+            start, end = friendship_mod._attendance_window(person, now)
+            assert end == pytest.approx(cohort + 0.45)
+            assert end - start == pytest.approx(4.0)
+
+    def test_external_has_no_window(self, world):
+        pid = world.population.ids_with_role(Role.EXTERNAL)[0]
+        with pytest.raises(ValueError):
+            friendship_mod._attendance_window(world.population.person(pid), 2012.25)
+
+
+class TestEdgeStructure:
+    def test_no_self_edges(self, world):
+        for a, b in list(world.network.graph.edges())[:5000]:
+            assert a != b
+
+    def test_graph_and_account_friend_sets_agree(self, world):
+        graph = world.network.graph
+        for uid, account in list(world.network.users.items())[:300]:
+            assert account.friend_ids == set(graph.neighbors(uid))
+
+    def test_recent_alumni_know_current_students(self, world):
+        """The Section-7 'natural approach' depends on these edges."""
+        truth = world.ground_truth()
+        graph = world.network.graph
+        current = world.network.clock.current_year
+        recent = [
+            uid
+            for pid in world.population.alumni_by_school[0].get(current - 1, [])
+            if (uid := world.account_index.user_for(pid)) is not None
+        ]
+        students = truth.all_student_uids
+        with_student_friends = sum(
+            1 for uid in recent if graph.neighbors(uid) & students
+        )
+        assert with_student_friends / max(len(recent), 1) > 0.3
+
+    def test_distant_alumni_rarely_know_students(self, world):
+        truth = world.ground_truth()
+        graph = world.network.graph
+        oldest = sorted(world.population.alumni_by_school[0])[0]
+        old_uids = [
+            uid
+            for pid in world.population.alumni_by_school[0][oldest]
+            if (uid := world.account_index.user_for(pid)) is not None
+        ]
+        students = truth.all_student_uids
+        linked = sum(1 for uid in old_uids if graph.neighbors(uid) & students)
+        assert linked / max(len(old_uids), 1) < 0.3
+
+    def test_transfer_students_less_connected(self, world):
+        """Window weighting: short-tenure students have fewer in-school
+        friends than long-tenure classmates."""
+        truth = world.ground_truth()
+        graph = world.network.graph
+        students = truth.all_student_uids
+        short, long_ = [], []
+        for members in world.population.students_by_school[0].values():
+            for pid in members:
+                uid = world.account_index.user_for(pid)
+                if uid is None:
+                    continue
+                person = world.population.person(pid)
+                in_school = graph.subgraph_degree(uid, students)
+                if person.tenure_years < 1.0:
+                    short.append(in_school)
+                elif person.tenure_years > 2.0:
+                    long_.append(in_school)
+        if not short or not long_:
+            pytest.skip("no tenure contrast in this seed")
+        assert sum(short) / len(short) < sum(long_) / len(long_)
+
+    def test_deterministic(self):
+        a = build_world(tiny(seed=29)).network.graph
+        b = build_world(tiny(seed=29)).network.graph
+        assert sorted(a.edges()) == sorted(b.edges())

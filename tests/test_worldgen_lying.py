@@ -1,0 +1,154 @@
+"""Tests for the COPPA age-lying model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.osn.profile import Gender, Name
+from repro.worldgen.config import LyingConfig
+from repro.worldgen.lying import (
+    expected_registered_adult_fraction,
+    plan_registration,
+)
+from repro.worldgen.population import Person, Role
+
+OBS = 2012.25
+
+
+def student(birth_year_fraction: float) -> Person:
+    return Person(
+        person_id=0,
+        name=Name("Test", "Student"),
+        gender=Gender.FEMALE,
+        birth_year_fraction=birth_year_fraction,
+        role=Role.STUDENT,
+        city="Springfield",
+        cohort_year=2015,
+    )
+
+
+class TestPlanRegistration:
+    def test_always_lies_when_forced(self):
+        config = LyingConfig(p_lie_if_under_13=1.0)
+        rng = random.Random(1)
+        plan = plan_registration(student(2000.0), config, OBS, rng)
+        assert plan is not None
+        assert plan.lied
+        assert plan.registered_birthday.year < 2000
+
+    def test_never_lies_when_disabled_probability(self):
+        config = LyingConfig(p_lie_if_under_13=0.0)
+        for seed in range(20):
+            plan = plan_registration(student(1998.0), config, OBS, random.Random(seed))
+            if plan is not None:
+                assert not plan.lied
+                assert plan.registered_birthday.year == 1998
+
+    def test_non_liar_defers_until_13(self):
+        config = LyingConfig(p_lie_if_under_13=0.0)
+        plan = plan_registration(student(1998.0), config, OBS, random.Random(3))
+        if plan is not None and plan.creation_year > 2011.0:
+            age_at_creation = plan.creation_year - 1998.0
+            assert age_at_creation >= 13.0
+
+    def test_without_coppa_truthful_and_young(self):
+        config = LyingConfig(enabled=False)
+        plans = [
+            plan_registration(student(2000.5), config, OBS, random.Random(s))
+            for s in range(30)
+        ]
+        assert all(p is not None for p in plans)
+        assert all(not p.lied for p in plans)
+        assert all(p.registered_birthday.year == 2000 for p in plans)
+        # joins at the natural tween age even though under 13
+        ages = [p.creation_year - 2000.5 for p in plans]
+        assert min(ages) < 13.0
+
+    def test_too_young_non_liar_has_no_account(self):
+        config = LyingConfig(p_lie_if_under_13=0.0)
+        # Born late 2000: turns 13 after the observation date.
+        results = [
+            plan_registration(student(2000.9), config, OBS, random.Random(s))
+            for s in range(30)
+        ]
+        assert all(p is None for p in results)
+
+    def test_adult_joiner_truthful(self):
+        config = LyingConfig()
+        person = student(1985.0)
+        plan = plan_registration(person, config, OBS, random.Random(2))
+        assert plan is not None
+        assert not plan.lied
+        assert plan.creation_year >= config.earliest_creation_year
+
+    def test_creation_never_after_observation(self):
+        config = LyingConfig()
+        for seed in range(50):
+            plan = plan_registration(student(1997.0), config, OBS, random.Random(seed))
+            if plan is not None:
+                assert plan.creation_year < OBS
+
+    def test_registered_age_at(self):
+        config = LyingConfig(p_lie_if_under_13=1.0, claim_13_weight=1.0,
+                             claim_midteen_weight=0.0, claim_adult_weight=0.0)
+        plan = plan_registration(student(1999.0), config, OBS, random.Random(7))
+        claimed_at_creation = plan.registered_age_at(plan.creation_year)
+        assert 13.0 <= claimed_at_creation <= 13.6
+
+
+class TestClaimWeights:
+    def test_normalised(self):
+        w = LyingConfig(claim_13_weight=2, claim_midteen_weight=1, claim_adult_weight=1)
+        assert sum(w.claim_weights()) == pytest.approx(1.0)
+
+    def test_zero_weights_rejected(self):
+        bad = LyingConfig(claim_13_weight=0, claim_midteen_weight=0, claim_adult_weight=0)
+        with pytest.raises(ValueError):
+            bad.claim_weights()
+
+
+class TestExpectedAdultFraction:
+    def test_disabled_matches_real_age(self):
+        config = LyingConfig(enabled=False)
+        assert expected_registered_adult_fraction(config, 19.0, 5.0) == 1.0
+        assert expected_registered_adult_fraction(config, 15.0, 5.0) == 0.0
+
+    def test_adult_claims_always_count(self):
+        config = LyingConfig(
+            p_lie_if_under_13=1.0,
+            claim_13_weight=0.0,
+            claim_midteen_weight=0.0,
+            claim_adult_weight=1.0,
+        )
+        assert expected_registered_adult_fraction(config, 15.0, 1.0) == pytest.approx(1.0)
+
+    def test_monotone_in_years_since_join(self):
+        config = LyingConfig()
+        early = expected_registered_adult_fraction(config, 15.0, 1.0)
+        late = expected_registered_adult_fraction(config, 15.0, 6.0)
+        assert late >= early
+
+    @given(st.floats(13.0, 18.0), st.floats(0.0, 8.0))
+    @settings(max_examples=40)
+    def test_is_a_probability(self, age, years):
+        value = expected_registered_adult_fraction(LyingConfig(), age, years)
+        assert 0.0 <= value <= 1.0
+
+
+class TestEmpiricalRates:
+    def test_lying_rate_close_to_config(self):
+        config = LyingConfig(p_lie_if_under_13=0.8)
+        rng = random.Random(42)
+        lied = joined_young = 0
+        for _ in range(2000):
+            plan = plan_registration(student(1999.5), config, OBS, rng)
+            if plan is None:
+                continue
+            if plan.creation_year - 1999.5 < 13.0:
+                joined_young += 1
+                if plan.lied:
+                    lied += 1
+        assert joined_young > 0
+        assert lied / joined_young == pytest.approx(1.0, abs=0.05)

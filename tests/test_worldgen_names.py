@@ -1,0 +1,49 @@
+"""Tests for the deterministic name sampler."""
+
+import random
+
+from repro.osn.profile import Gender
+from repro.worldgen.names import FEMALE_FIRST, LAST_NAMES, MALE_FIRST, NameSampler
+
+
+class TestSampling:
+    def test_deterministic_for_seed(self):
+        a = NameSampler(random.Random(1))
+        b = NameSampler(random.Random(1))
+        assert [a.sample()[0].full for _ in range(20)] == [
+            b.sample()[0].full for _ in range(20)
+        ]
+
+    def test_gendered_first_names(self):
+        sampler = NameSampler(random.Random(2))
+        for _ in range(50):
+            name, gender = sampler.sample()
+            pool = FEMALE_FIRST if gender is Gender.FEMALE else MALE_FIRST
+            assert name.first in pool
+            assert name.last in LAST_NAMES
+
+    def test_explicit_gender_respected(self):
+        sampler = NameSampler(random.Random(3))
+        for _ in range(20):
+            name, gender = sampler.sample(Gender.MALE)
+            assert gender is Gender.MALE
+            assert name.first in MALE_FIRST
+
+    def test_gender_roughly_balanced(self):
+        sampler = NameSampler(random.Random(4))
+        females = sum(1 for _ in range(1000) if sampler.gender() is Gender.FEMALE)
+        assert 400 < females < 600
+
+    def test_duplicates_possible(self):
+        """Name collisions happen, as in the paper's ground-truth matching."""
+        sampler = NameSampler(random.Random(5))
+        names = [sampler.sample()[0].full for _ in range(2000)]
+        assert len(set(names)) < len(names)
+
+    def test_pools_are_disjoint_enough(self):
+        # A sanity check that the gendered pools are actually different.
+        assert len(set(FEMALE_FIRST) & set(MALE_FIRST)) <= 2
+
+    def test_family_surname_comes_from_pool(self):
+        sampler = NameSampler(random.Random(6))
+        assert sampler.family_surname() in LAST_NAMES

@@ -1,0 +1,156 @@
+"""Tests for ground-truth population generation."""
+
+import random
+
+import pytest
+
+from repro.worldgen.config import SchoolConfig, WorldConfig
+from repro.worldgen.population import (
+    GRADUATION_AGE,
+    Population,
+    PopulationBuilder,
+    Role,
+    build_population,
+)
+from repro.worldgen.presets import tiny
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_population(tiny(seed=11))
+
+
+class TestStudents:
+    def test_four_cohorts(self, population):
+        cohorts = population.students_by_school[0]
+        assert sorted(cohorts) == [2012, 2013, 2014, 2015]
+
+    def test_cohort_sizes_match_config(self, population):
+        config = tiny(seed=11)
+        expected = config.schools[0].cohort_size
+        for members in population.students_by_school[0].values():
+            assert len(members) == expected
+
+    def test_student_ages_fit_cohorts(self, population):
+        obs = tiny(seed=11).observation_year
+        for cohort, members in population.students_by_school[0].items():
+            for pid in members:
+                person = population.person(pid)
+                age = person.real_age(obs)
+                expected = obs - (cohort - GRADUATION_AGE)
+                assert abs(age - (expected - 0.5)) <= 0.51
+
+    def test_most_students_are_minors(self, population):
+        obs = tiny(seed=11).observation_year
+        students = [
+            population.person(pid)
+            for members in population.students_by_school[0].values()
+            for pid in members
+        ]
+        minors = sum(1 for s in students if s.real_age(obs) < 18.0)
+        assert minors / len(students) > 0.8
+
+    def test_some_seniors_are_real_adults(self, population):
+        obs = tiny(seed=11).observation_year
+        seniors = [
+            population.person(pid)
+            for pid in population.students_by_school[0][2012]
+        ]
+        adults = sum(1 for s in seniors if s.real_age(obs) >= 18.0)
+        assert 0 < adults < len(seniors)
+
+    def test_tenure_positive(self, population):
+        for members in population.students_by_school[0].values():
+            for pid in members:
+                assert population.person(pid).tenure_years > 0
+
+
+class TestChurn:
+    def test_former_students_generated(self, population):
+        config = tiny(seed=11).schools[0]
+        former = population.former_by_school[0]
+        assert len(former) == int(config.enrollment * config.churn_out_rate)
+
+    def test_former_students_left_in_the_past(self, population):
+        for pid in population.former_by_school[0]:
+            person = population.person(pid)
+            assert person.role is Role.FORMER_STUDENT
+            assert person.left_years_ago > 0
+
+    def test_former_students_live_elsewhere(self, population):
+        config = tiny(seed=11)
+        cities = {
+            population.person(pid).city for pid in population.former_by_school[0]
+        }
+        assert config.schools[0].city not in cities
+
+
+class TestAlumni:
+    def test_alumni_cohort_years(self, population):
+        config = tiny(seed=11).schools[0]
+        years = sorted(population.alumni_by_school[0])
+        assert years == list(range(2012 - config.alumni_cohorts, 2012))
+
+    def test_alumni_are_adults_now(self, population):
+        obs = tiny(seed=11).observation_year
+        for members in population.alumni_by_school[0].values():
+            for pid in members:
+                assert population.person(pid).real_age(obs) >= 17.5
+
+
+class TestFamilies:
+    def test_households_link_students_and_parents(self, population):
+        assert population.households
+        for children, parents in population.households.values():
+            assert children and parents
+            child = population.person(children[0])
+            parent = population.person(parents[0])
+            assert parent.role is Role.PARENT
+            assert parent.name.last == child.name.last
+            assert parent.birth_year_fraction < child.birth_year_fraction - 18
+
+
+class TestExternals:
+    def test_external_pool_size(self, population):
+        assert len(population.ids_with_role(Role.EXTERNAL)) == tiny(seed=11).externals.size
+
+    def test_some_externals_are_minors(self, population):
+        obs = tiny(seed=11).observation_year
+        externals = [
+            population.person(pid) for pid in population.ids_with_role(Role.EXTERNAL)
+        ]
+        minors = sum(1 for p in externals if p.real_age(obs) < 18.0)
+        assert 0 < minors < len(externals)
+
+
+class TestDeterminism:
+    def test_same_seed_same_population(self):
+        a = build_population(tiny(seed=5))
+        b = build_population(tiny(seed=5))
+        assert len(a) == len(b)
+        assert [p.name.full for p in a.people[:50]] == [
+            p.name.full for p in b.people[:50]
+        ]
+
+    def test_different_seed_differs(self):
+        a = build_population(tiny(seed=5))
+        b = build_population(tiny(seed=6))
+        assert [p.name.full for p in a.people[:50]] != [
+            p.name.full for p in b.people[:50]
+        ]
+
+
+class TestValidation:
+    def test_empty_school_rejected(self):
+        config = WorldConfig(schools=(SchoolConfig("X", "Y", enrollment=0),))
+        with pytest.raises(ValueError):
+            build_population(config)
+
+    def test_non_four_year_school_rejected(self):
+        config = WorldConfig(schools=(SchoolConfig("X", "Y", cohorts=3),))
+        with pytest.raises(ValueError):
+            build_population(config)
+
+    def test_no_schools_rejected(self):
+        with pytest.raises(ValueError):
+            build_population(WorldConfig(schools=()))

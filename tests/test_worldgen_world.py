@@ -1,0 +1,142 @@
+"""Tests for world assembly, accounts, friendships and ground truth."""
+
+import pytest
+
+from repro.osn.privacy import ProfileField, Relationship
+from repro.worldgen.population import Role
+from repro.worldgen.presets import tiny
+from repro.worldgen.world import build_world
+
+
+class TestWorldAssembly:
+    def test_school_registered(self, tiny_world):
+        school = tiny_world.school()
+        assert school.name == "Smallville High School"
+        assert school.enrollment_hint == 120
+
+    def test_most_students_have_accounts(self, tiny_world):
+        truth = tiny_world.ground_truth()
+        assert truth.on_osn_count >= 0.8 * truth.enrolled_count
+
+    def test_graph_has_edges(self, tiny_world):
+        assert tiny_world.network.graph.edge_count() > 1000
+
+    def test_account_index_bidirectional(self, tiny_world):
+        index = tiny_world.account_index
+        for pid, uid in list(index.person_to_user.items())[:100]:
+            assert index.person_for(uid) == pid
+
+    def test_deterministic_given_seed(self):
+        a = build_world(tiny(seed=3))
+        b = build_world(tiny(seed=3))
+        assert a.network.graph.edge_count() == b.network.graph.edge_count()
+        assert a.ground_truth().on_osn_count == b.ground_truth().on_osn_count
+
+
+class TestGroundTruth:
+    def test_years_cover_current_generation(self, tiny_world):
+        truth = tiny_world.ground_truth()
+        assert sorted(truth.student_uids_by_year) == [2012, 2013, 2014, 2015]
+
+    def test_year_of_uid(self, tiny_world):
+        truth = tiny_world.ground_truth()
+        for year, uids in truth.student_uids_by_year.items():
+            for uid in uids[:5]:
+                assert truth.year_of_uid(uid) == year
+
+    def test_year_of_unknown_uid_is_none(self, tiny_world):
+        assert tiny_world.ground_truth().year_of_uid(10**9) is None
+
+    def test_student_classifications_partition(self, tiny_world):
+        truth = tiny_world.ground_truth()
+        minors = tiny_world.registered_minor_students()
+        adults = tiny_world.adult_registered_students()
+        assert minors | adults == truth.all_student_uids
+        assert not (minors & adults)
+
+    def test_minimal_profiles_include_all_registered_minors(self, tiny_world):
+        """On Facebook, every registered minor presents a minimal profile."""
+        minors = tiny_world.registered_minor_students()
+        minimal = tiny_world.minimal_profile_students()
+        assert minors <= minimal
+
+
+class TestLyingOutcomes:
+    def test_a_sizeable_fraction_of_students_registered_adult(self, tiny_world):
+        truth = tiny_world.ground_truth()
+        adults = tiny_world.adult_registered_students()
+        fraction = len(adults) / truth.on_osn_count
+        assert 0.25 < fraction < 0.75
+
+    def test_without_coppa_world_has_no_liars(self):
+        world = build_world(tiny(seed=21).without_coppa())
+        liars = [a for a in world.network.users.values() if a.lied_about_age()]
+        assert not liars
+
+    def test_without_coppa_only_real_adults_registered_adult(self):
+        world = build_world(tiny(seed=21).without_coppa())
+        now = world.network.clock.now_year
+        for account in world.network.users.values():
+            if not account.is_registered_minor(now):
+                assert account.real_age(now) >= 18.0
+
+
+class TestAttackerAccounts:
+    def test_created_accounts_are_fake_strangers(self, fresh_tiny_world):
+        uids = fresh_tiny_world.create_attacker_accounts(3)
+        assert len(uids) == 3
+        net = fresh_tiny_world.network
+        some_student = next(iter(fresh_tiny_world.ground_truth().all_student_uids))
+        for uid in uids:
+            assert net.users[uid].is_fake
+            assert net.relationship(uid, some_student) is Relationship.STRANGER
+
+
+class TestFriendshipStructure:
+    def test_same_cohort_denser_than_cross(self, tiny_world):
+        truth = tiny_world.ground_truth()
+        graph = tiny_world.network.graph
+        years = sorted(truth.student_uids_by_year)
+        same = cross = 0
+        same_pairs = cross_pairs = 0
+        for i, ya in enumerate(years):
+            a_uids = truth.student_uids_by_year[ya]
+            same_pairs += len(a_uids) * (len(a_uids) - 1) // 2
+            same += sum(
+                1
+                for k, u in enumerate(a_uids)
+                for v in a_uids[k + 1 :]
+                if graph.are_friends(u, v)
+            )
+            for yb in years[i + 1 :]:
+                b_uids = truth.student_uids_by_year[yb]
+                cross_pairs += len(a_uids) * len(b_uids)
+                cross += sum(
+                    1 for u in a_uids for v in b_uids if graph.are_friends(u, v)
+                )
+        assert same / same_pairs > 3 * (cross / cross_pairs)
+
+    def test_students_have_external_friends(self, tiny_world):
+        truth = tiny_world.ground_truth()
+        graph = tiny_world.network.graph
+        students = truth.all_student_uids
+        degrees = [graph.degree(uid) for uid in students]
+        external = [
+            graph.degree(uid) - graph.subgraph_degree(uid, students) for uid in students
+        ]
+        assert sum(external) / len(external) > 10
+
+    def test_some_parents_friend_their_children(self, tiny_world):
+        population = tiny_world.population
+        index = tiny_world.account_index
+        graph = tiny_world.network.graph
+        linked = 0
+        for children, parents in population.households.values():
+            child_uid = index.user_for(children[0])
+            if child_uid is None:
+                continue
+            for parent_pid in parents:
+                parent_uid = index.user_for(parent_pid)
+                if parent_uid is not None and graph.are_friends(child_uid, parent_uid):
+                    linked += 1
+        assert linked > 0

@@ -5,6 +5,8 @@ Examples
 ::
 
     python -m repro attack --preset hs1 --enhanced --filtering -t 400
+    python -m repro attack --preset hs1 --telemetry trace.jsonl
+    python -m repro trace trace.jsonl
     python -m repro sweep --preset hs1 --thresholds 200,300,400,500
     python -m repro tables --preset facebook
     python -m repro coppaless --preset hs1
@@ -41,6 +43,7 @@ from repro.core.countermeasures import run_countermeasure_comparison, run_counte
 from repro.core.evaluation import evaluate_full, sweep_full
 from repro.core.profiler import ProfilerConfig
 from repro.osn.policy import policy_by_name
+from repro.telemetry import Telemetry, replay_report
 from repro.worldgen.export import export_world_json
 from repro.worldgen.presets import PRESETS, preset
 from repro.worldgen.world import World, build_world
@@ -96,8 +99,25 @@ def _profiler_config(args: argparse.Namespace) -> ProfilerConfig:
 
 def cmd_attack(args: argparse.Namespace) -> int:
     world = _build_world_from(args)
+    telemetry = None
+    if args.telemetry:
+        # Sinks buffer and write on close; reject an unwritable path now
+        # rather than after the whole crawl has run.
+        for sink_path in filter(None, (args.telemetry, args.prometheus)):
+            try:
+                with open(sink_path, "w", encoding="utf-8"):
+                    pass
+            except OSError as exc:
+                print(f"error: cannot write {sink_path!r}: {exc}", file=sys.stderr)
+                return 2
+        telemetry = Telemetry.to_jsonl(world.network.clock, args.telemetry)
+        if args.prometheus:
+            telemetry.add_prometheus(args.prometheus)
     result = run_attack(
-        world, accounts=args.accounts, config=_profiler_config(args)
+        world,
+        accounts=args.accounts,
+        config=_profiler_config(args),
+        telemetry=telemetry,
     )
     truth = world.ground_truth()
     evaluation = evaluate_full(result, truth, args.threshold)
@@ -117,6 +137,26 @@ def cmd_attack(args: argparse.Namespace) -> int:
         ),
     ]
     print(ascii_table(("metric", "value"), rows, title="Attack summary"))
+    if telemetry is not None:
+        telemetry.close()
+        print(
+            f"\ntelemetry: {telemetry.event_count} events -> {args.telemetry}"
+            + (f" (metrics -> {args.prometheus})" if args.prometheus else "")
+        )
+        print(f"replay with: python -m repro trace {args.telemetry}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        report = replay_report(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: {args.trace!r} is not a telemetry trace: {exc}", file=sys.stderr)
+        return 2
+    print(report.render(title=f"Crawl-session report ({args.trace})"))
     return 0
 
 
@@ -286,7 +326,25 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--enhanced", action="store_true")
     attack.add_argument("--filtering", action="store_true")
     attack.add_argument("--epsilon", type=float, default=1.0)
+    attack.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="record a JSONL crawl trace to PATH (replay with 'repro trace')",
+    )
+    attack.add_argument(
+        "--prometheus",
+        metavar="PATH",
+        default=None,
+        help="with --telemetry, also snapshot metrics in Prometheus text format",
+    )
     attack.set_defaults(func=cmd_attack)
+
+    trace = sub.add_parser(
+        "trace", help="replay a JSONL telemetry trace into a session report"
+    )
+    trace.add_argument("trace", help="path to a trace written by attack --telemetry")
+    trace.set_defaults(func=cmd_trace)
 
     sweep = sub.add_parser("sweep", help="Figure-1-style threshold sweep")
     _add_world_args(sweep)

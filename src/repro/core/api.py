@@ -13,6 +13,7 @@ from repro.crawler.accounts import AccountPool
 from repro.crawler.client import CrawlClient
 from repro.crawler.politeness import PolitenessPolicy
 from repro.crawler.storage import CrawlStore
+from repro.telemetry.runtime import Telemetry
 from repro.worldgen.world import World
 
 from .profiler import AttackResult, HighSchoolProfiler, ProfilerConfig
@@ -22,10 +23,19 @@ def make_client(
     world: World,
     accounts: int = 2,
     politeness: Optional[PolitenessPolicy] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> CrawlClient:
-    """A crawl client with ``accounts`` fresh fake accounts on this world."""
+    """A crawl client with ``accounts`` fresh fake accounts on this world.
+
+    Passing a :class:`~repro.telemetry.runtime.Telemetry` instruments
+    the whole stack for this session — the world's HTML frontend and
+    rate limiter included — so request spans, throttle strikes and
+    effort counters all land in one registry/event stream.
+    """
     pool = AccountPool.of(world.create_attacker_accounts(accounts))
-    return CrawlClient(world.frontend, pool, politeness)
+    if telemetry is not None:
+        world.frontend.set_telemetry(telemetry)
+    return CrawlClient(world.frontend, pool, politeness, telemetry=telemetry)
 
 
 def run_attack(
@@ -36,6 +46,7 @@ def run_attack(
     politeness: Optional[PolitenessPolicy] = None,
     store: Optional[CrawlStore] = None,
     client: Optional[CrawlClient] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> AttackResult:
     """Run the profiling methodology against one school of a world.
 
@@ -44,7 +55,7 @@ def run_attack(
     frontend; ground truth stays untouched.
     """
     if client is None:
-        client = make_client(world, accounts, politeness)
+        client = make_client(world, accounts, politeness, telemetry)
     school_id = world.school(school_index).school_id
     profiler = HighSchoolProfiler(client, school_id, config, store)
     return profiler.run()

@@ -21,8 +21,9 @@ the paper produces Table 4 and Figures 1–2 from one data set.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import ContextManager, Dict, List, Optional, Set
 
 from repro.crawler.client import CrawlClient
 from repro.osn.clock import school_class_year
@@ -148,72 +149,83 @@ class HighSchoolProfiler:
     # ------------------------------------------------------------------
     # Pipeline
     # ------------------------------------------------------------------
+    def _span(self, name: str) -> ContextManager:
+        """A telemetry phase span, or a no-op when observability is off."""
+        telemetry = getattr(self.client, "telemetry", None)
+        return telemetry.span(name) if telemetry is not None else nullcontext()
+
     def run(self) -> AttackResult:
         config = self.config
-        school = self.client.fetch_school(self.school_id)
+        with self._span("setup"):
+            school = self.client.fetch_school(self.school_id)
         current_year = school_class_year(
             self.client.frontend.network.clock.now_year
         )
         threshold = config.threshold or school.enrollment_hint or 400
 
         # Step 1: seeds.
-        seeds = self._collect_seeds(current_year)
+        with self._span("seeds"):
+            seeds = self._collect_seeds(current_year)
         if self.store is not None:
             self.store.save_seeds(self.school_id, seeds)
 
-        # Step 2: seed profiles -> C'.
-        profiles = self._fetch_profiles(seeds)
-        claims = extract_claims(profiles, self.school_id, current_year)
-
-        # Step 3: friend lists of C' -> core set C.
-        core = CoreSet(school_id=self.school_id, current_year=current_year)
-        for uid, year in claims.items():
-            self._try_promote(core, uid, year)
+        # Steps 2-3: seed profiles -> C', friend lists of C' -> core set C.
+        with self._span("core"):
+            profiles = self._fetch_profiles(seeds)
+            claims = extract_claims(profiles, self.school_id, current_year)
+            core = CoreSet(school_id=self.school_id, current_year=current_year)
+            for uid, year in claims.items():
+                self._try_promote(core, uid, year)
         initial_core_size = core.core_size
         initial_claimed_size = core.claimed_size
 
         # Steps 4-5: reverse lookup scoring.
-        scores = score_candidates(core, config.scoring_rule, config.denominator_floor)
+        with self._span("scoring"):
+            scores = score_candidates(
+                core, config.scoring_rule, config.denominator_floor
+            )
 
         filtered_out: Dict[int, str] = {}
         if config.enhanced or config.filtering:
-            budget = int(round((1.0 + config.epsilon) * threshold))
-            rounds = max(1, config.enhancement_rounds) if config.enhanced else 1
-            for _ in range(rounds):
-                prelim = scores.ranked(exclude=set(core.claimed))
-                targets = self._fetch_targets(prelim, scores, budget)
-                top_views = self._fetch_profiles(
-                    {uid: "" for uid in targets if uid not in profiles}
-                )
-                profiles.update(top_views)
-                if not config.enhanced:
-                    break
-                promoted = self._extend_core(core, targets, profiles, current_year)
-                scores = score_candidates(
-                    core, config.scoring_rule, config.denominator_floor
-                )
-                if promoted == 0:
-                    break
+            with self._span("candidates"):
+                budget = int(round((1.0 + config.epsilon) * threshold))
+                rounds = max(1, config.enhancement_rounds) if config.enhanced else 1
+                for _ in range(rounds):
+                    prelim = scores.ranked(exclude=set(core.claimed))
+                    targets = self._fetch_targets(prelim, scores, budget)
+                    top_views = self._fetch_profiles(
+                        {uid: "" for uid in targets if uid not in profiles}
+                    )
+                    profiles.update(top_views)
+                    if not config.enhanced:
+                        break
+                    promoted = self._extend_core(core, targets, profiles, current_year)
+                    scores = score_candidates(
+                        core, config.scoring_rule, config.denominator_floor
+                    )
+                    if promoted == 0:
+                        break
 
-            if config.filtering:
-                candidate_profiles = {
-                    uid: view
-                    for uid, view in profiles.items()
-                    if uid in scores and uid not in core.claimed
-                }
-                filtered_out = apply_filters(
-                    candidate_profiles,
-                    self.school_id,
-                    school.city,
-                    current_year,
-                    config.filter_config,
-                )
+                if config.filtering:
+                    candidate_profiles = {
+                        uid: view
+                        for uid, view in profiles.items()
+                        if uid in scores and uid not in core.claimed
+                    }
+                    filtered_out = apply_filters(
+                        candidate_profiles,
+                        self.school_id,
+                        school.city,
+                        current_year,
+                        config.filter_config,
+                    )
 
-        ranking = [
-            uid
-            for uid in scores.ranked(exclude=set(core.claimed))
-            if uid not in filtered_out
-        ]
+        with self._span("threshold"):
+            ranking = [
+                uid
+                for uid in scores.ranked(exclude=set(core.claimed))
+                if uid not in filtered_out
+            ]
 
         if self.store is not None:
             self.store.save_profiles(profiles.values(), self.school_id)

@@ -12,7 +12,7 @@ OSN's HTML frontend with:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
 from repro.osn.errors import (
     AccountDisabledError,
@@ -42,6 +42,9 @@ from .effort import (
 )
 from .politeness import Pacer, PolitenessPolicy
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.runtime import Telemetry
+
 _MAX_THROTTLE_RETRIES = 8
 
 
@@ -54,11 +57,17 @@ class CrawlClient:
         pool: AccountPool,
         politeness: Optional[PolitenessPolicy] = None,
         counter: Optional[EffortCounter] = None,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         self.frontend = frontend
         self.pool = pool
-        self.pacer = Pacer(frontend.network.clock, politeness)
-        self.counter = counter or EffortCounter()
+        self.telemetry = telemetry
+        self.pacer = Pacer(frontend.network.clock, politeness, telemetry=telemetry)
+        if counter is None:
+            counter = EffortCounter(
+                registry=telemetry.registry if telemetry is not None else None
+            )
+        self.counter = counter
 
     # ------------------------------------------------------------------
     # Transport with rotation / back-off
@@ -71,6 +80,7 @@ class CrawlClient:
         account_id: Optional[int] = None,
     ) -> str:
         """One logical GET: paces, rotates accounts, retries throttles."""
+        telemetry = self.telemetry
         throttles = 0
         while True:
             chosen = account_id if account_id is not None else self.pool.next()
@@ -80,15 +90,43 @@ class CrawlClient:
             except RateLimitedError as exc:
                 throttles += 1
                 if throttles > _MAX_THROTTLE_RETRIES:
+                    if telemetry is not None:
+                        telemetry.emit(
+                            "retry_exhausted",
+                            account=chosen,
+                            path=path,
+                            category=category,
+                            throttles=throttles,
+                        )
                     raise
-                self.pacer.on_throttle(exc.retry_after)
+                slept = self.pacer.on_throttle(exc.retry_after)
+                if telemetry is not None:
+                    telemetry.emit(
+                        "throttle",
+                        account=chosen,
+                        category=category,
+                        retry_after=exc.retry_after,
+                        slept=slept,
+                    )
                 continue
             except AccountDisabledError:
                 self.pool.mark_disabled(chosen)
-                if account_id is not None or not self.pool.usable:
+                rotated = account_id is None and bool(self.pool.usable)
+                if telemetry is not None:
+                    telemetry.emit(
+                        "account_lost",
+                        account=chosen,
+                        pinned=account_id is not None,
+                        rotated=rotated,
+                    )
+                if not rotated:
                     raise
                 continue
             self.counter.record(category, chosen)
+            if telemetry is not None:
+                telemetry.emit(
+                    "request", account=chosen, category=category, path=path
+                )
             self.pacer.on_success()
             return page
 

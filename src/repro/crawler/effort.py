@@ -11,8 +11,10 @@ for cross-checking.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.telemetry.metrics import MetricsRegistry
 
 
 #: Request categories matching Table 3's columns.
@@ -54,32 +56,50 @@ class EffortReport:
 
 
 class EffortCounter:
-    """Counts HTTP GETs by category as the crawl proceeds."""
+    """Counts HTTP GETs by category as the crawl proceeds.
 
-    def __init__(self) -> None:
-        self._counts: Dict[str, int] = {c: 0 for c in _CATEGORIES}
-        self._accounts: set[int] = set()
+    Implemented on the telemetry metrics model: the per-category and
+    per-account tallies live in label-keyed counter families, so a
+    crawl session that shares its :class:`MetricsRegistry` (via
+    ``EffortCounter(registry=telemetry.registry)``) exposes Table 3
+    through the same registry the rest of the pipeline reports into —
+    one source of truth for the effort numbers.  Without a registry the
+    counter owns a private one and behaves exactly as before.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter(
+            "crawl_requests_total",
+            "Successful crawl GETs by Table-3 category",
+            labelnames=("category",),
+        )
+        self._account_requests = self.registry.counter(
+            "crawl_account_requests_total",
+            "Successful crawl GETs per crawl account",
+            labelnames=("account",),
+        )
 
     def record(self, category: str, account_id: int) -> None:
-        if category not in self._counts:
+        if category not in _CATEGORIES:
             category = CATEGORY_OTHER
-        self._counts[category] += 1
-        self._accounts.add(account_id)
+        self._requests.labels(category=category).inc()
+        self._account_requests.labels(account=str(account_id)).inc()
 
     def count(self, category: str) -> int:
-        return self._counts.get(category, 0)
+        return int(self._requests.labels(category=category).value)
 
     @property
     def total(self) -> int:
-        return sum(self._counts.values())
+        return int(sum(self.count(c) for c in _CATEGORIES))
 
     def report(self) -> EffortReport:
         return EffortReport(
-            accounts_used=len(self._accounts),
-            seed_requests=self._counts[CATEGORY_SEEDS],
-            profile_requests=self._counts[CATEGORY_PROFILES],
-            friend_list_requests=self._counts[CATEGORY_FRIEND_LISTS],
-            other_requests=self._counts[CATEGORY_OTHER],
+            accounts_used=self._account_requests.series_count(),
+            seed_requests=self.count(CATEGORY_SEEDS),
+            profile_requests=self.count(CATEGORY_PROFILES),
+            friend_list_requests=self.count(CATEGORY_FRIEND_LISTS),
+            other_requests=self.count(CATEGORY_OTHER),
         )
 
 

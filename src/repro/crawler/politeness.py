@@ -10,8 +10,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.osn.clock import SimClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.telemetry.runtime import Telemetry
 
 
 @dataclass(frozen=True)
@@ -33,6 +37,17 @@ class PolitenessPolicy:
             raise ValueError("delays must be non-negative")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1")
+        if self.max_backoff_seconds < 0:
+            raise ValueError(
+                f"max_backoff_seconds must be non-negative, "
+                f"got {self.max_backoff_seconds}"
+            )
+        if self.max_backoff_seconds < self.base_delay_seconds:
+            raise ValueError(
+                f"max_backoff_seconds ({self.max_backoff_seconds}) must not be "
+                f"smaller than base_delay_seconds ({self.base_delay_seconds}); "
+                "the backoff cap would undercut the polite inter-request delay"
+            )
 
 
 class Pacer:
@@ -43,6 +58,7 @@ class Pacer:
         clock: SimClock,
         policy: PolitenessPolicy | None = None,
         rng: random.Random | None = None,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         self.clock = clock
         self.policy = policy or PolitenessPolicy()
@@ -50,26 +66,41 @@ class Pacer:
         self.rng = rng or random.Random(0xC0FFEE)
         self._consecutive_throttles = 0
         self.total_slept = 0.0
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._sleep_metric = telemetry.registry.histogram(
+                "pacer_sleep_seconds",
+                "Simulated seconds slept between requests, by reason",
+                labelnames=("reason",),
+            )
 
     def before_request(self) -> None:
         """Sleep the polite inter-request delay (simulated time)."""
         delay = self.policy.base_delay_seconds
         if self.policy.jitter_seconds > 0:
             delay += self.rng.uniform(0.0, self.policy.jitter_seconds)
-        self._sleep(delay)
+        self._sleep(delay, "polite")
 
-    def on_throttle(self, retry_after: float) -> None:
-        """Back off after a rate-limit response, escalating geometrically."""
+    def on_throttle(self, retry_after: float) -> float:
+        """Back off after a rate-limit response, escalating geometrically.
+
+        Returns the penalty actually slept (simulated seconds), so the
+        caller can attribute the backoff cost on its telemetry events.
+        """
         self._consecutive_throttles += 1
         penalty = retry_after * (
             self.policy.backoff_factor ** (self._consecutive_throttles - 1)
         )
-        self._sleep(min(penalty, self.policy.max_backoff_seconds))
+        penalty = min(penalty, self.policy.max_backoff_seconds)
+        self._sleep(penalty, "backoff")
+        return penalty
 
     def on_success(self) -> None:
         self._consecutive_throttles = 0
 
-    def _sleep(self, seconds: float) -> None:
+    def _sleep(self, seconds: float, reason: str = "polite") -> None:
         if seconds > 0:
             self.clock.sleep(seconds)
             self.total_slept += seconds
+            if self.telemetry is not None:
+                self._sleep_metric.labels(reason=reason).observe(seconds)

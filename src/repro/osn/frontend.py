@@ -29,16 +29,39 @@ Routes
 from __future__ import annotations
 
 import re
-from typing import Dict, Mapping, Optional
+import time
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 from . import pages
-from .errors import AuthenticationError, BadRequestError, NotFoundError
+from .errors import (
+    AccountDisabledError,
+    AuthenticationError,
+    BadRequestError,
+    ForbiddenError,
+    NotFoundError,
+    OsnError,
+    RateLimitedError,
+)
 from .network import GraphSearchQuery, SocialNetwork
 from .ratelimit import RateLimitConfig, RateLimiter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.telemetry.runtime import Telemetry
 
 _PROFILE_RE = re.compile(r"^/profile/(\d+)$")
 _FRIENDS_RE = re.compile(r"^/profile/(\d+)/friends$")
 _SCHOOL_RE = re.compile(r"^/school/(\d+)$")
+
+
+#: Exception type -> status-outcome label used on request telemetry.
+_OUTCOMES: Dict[type, str] = {
+    RateLimitedError: "rate_limited",
+    AccountDisabledError: "account_disabled",
+    AuthenticationError: "auth_failed",
+    NotFoundError: "not_found",
+    ForbiddenError: "forbidden",
+    BadRequestError: "bad_request",
+}
 
 
 class HtmlFrontend:
@@ -48,10 +71,32 @@ class HtmlFrontend:
         self,
         network: SocialNetwork,
         rate_limit: Optional[RateLimitConfig] = None,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         self.network = network
-        self.limiter = RateLimiter(network.clock, rate_limit)
+        self.limiter = RateLimiter(network.clock, rate_limit, telemetry=telemetry)
         self.request_count = 0
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._init_metrics(telemetry)
+
+    def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
+        """Attach (or detach) observability; also covers the rate limiter."""
+        self.telemetry = telemetry
+        self.limiter.set_telemetry(telemetry)
+        if telemetry is not None:
+            self._init_metrics(telemetry)
+
+    def _init_metrics(self, telemetry: "Telemetry") -> None:
+        self._requests_metric = telemetry.registry.counter(
+            "frontend_requests_total",
+            "HTTP GET attempts served by the OSN frontend, by outcome",
+            labelnames=("outcome",),
+        )
+        self._wall_metric = telemetry.registry.histogram(
+            "frontend_request_wall_seconds",
+            "Wall-clock time spent serving one GET",
+        )
 
     # ------------------------------------------------------------------
     # Entry point
@@ -63,6 +108,35 @@ class HtmlFrontend:
         params: Optional[Mapping[str, str]] = None,
     ) -> str:
         """Perform one authenticated GET and return the page HTML."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._serve(account_id, path, params)
+        wall_start = time.perf_counter()
+        outcome = "ok"
+        try:
+            return self._serve(account_id, path, params)
+        except OsnError as exc:
+            outcome = _OUTCOMES.get(type(exc), "error")
+            raise
+        finally:
+            wall = time.perf_counter() - wall_start
+            self._requests_metric.labels(outcome=outcome).inc()
+            self._wall_metric.labels().observe(wall)
+            telemetry.emit(
+                "http",
+                account=account_id,
+                path=path,
+                outcome=outcome,
+                wall_seconds=wall,
+            )
+
+    def _serve(
+        self,
+        account_id: int,
+        path: str,
+        params: Optional[Mapping[str, str]] = None,
+    ) -> str:
+        """Authenticate, charge the limiter, route (telemetry-free core)."""
         self._authenticate(account_id)
         self.limiter.check(account_id)
         self.request_count += 1

@@ -19,10 +19,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict
+from typing import TYPE_CHECKING, Deque, Dict, Optional
 
 from .clock import SimClock
 from .errors import AccountDisabledError, RateLimitedError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.telemetry.runtime import Telemetry
 
 
 @dataclass(frozen=True)
@@ -52,11 +55,35 @@ class _AccountState:
 class RateLimiter:
     """Sliding-window limiter over simulated time, per account."""
 
-    def __init__(self, clock: SimClock, config: RateLimitConfig | None = None) -> None:
+    def __init__(
+        self,
+        clock: SimClock,
+        config: RateLimitConfig | None = None,
+        telemetry: Optional["Telemetry"] = None,
+    ) -> None:
         self.clock = clock
         self.config = config or RateLimitConfig()
         self.config.validate()
         self._states: Dict[int, _AccountState] = {}
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._init_metrics(telemetry)
+
+    def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._init_metrics(telemetry)
+
+    def _init_metrics(self, telemetry: "Telemetry") -> None:
+        self._strikes_metric = telemetry.registry.counter(
+            "ratelimit_strikes_total",
+            "Rate-limit strikes earned, per crawl account",
+            labelnames=("account",),
+        )
+        self._disabled_metric = telemetry.registry.counter(
+            "ratelimit_accounts_disabled_total",
+            "Accounts permanently disabled for aggressive crawling",
+        )
 
     def check(self, account_id: int) -> None:
         """Record one request; raise if the account is over its budget."""
@@ -72,14 +99,29 @@ class RateLimiter:
             stamps.popleft()
         if len(stamps) >= self.config.max_requests:
             state.strikes += 1
+            telemetry = self.telemetry
             if state.strikes >= self.config.strikes_to_disable:
                 state.disabled = True
+                if telemetry is not None:
+                    self._strikes_metric.labels(account=str(account_id)).inc()
+                    self._disabled_metric.labels().inc()
+                    telemetry.emit(
+                        "account_disabled", account=account_id, strikes=state.strikes
+                    )
                 raise AccountDisabledError(
                     f"account {account_id} disabled after {state.strikes} strikes"
                 )
-            retry_after = (stamps[0] + self.config.window_seconds) - now
+            retry_after = max((stamps[0] + self.config.window_seconds) - now, 0.1)
+            if telemetry is not None:
+                self._strikes_metric.labels(account=str(account_id)).inc()
+                telemetry.emit(
+                    "strike",
+                    account=account_id,
+                    strikes=state.strikes,
+                    retry_after=retry_after,
+                )
             raise RateLimitedError(
-                f"account {account_id} over rate limit", retry_after=max(retry_after, 0.1)
+                f"account {account_id} over rate limit", retry_after=retry_after
             )
         stamps.append(now)
 

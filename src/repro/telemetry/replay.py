@@ -1,0 +1,26 @@
+"""Replay a JSONL trace into the same report the live session produced.
+
+``python -m repro attack --telemetry out.jsonl`` records the session;
+``python -m repro trace out.jsonl`` calls :func:`replay_report` to fold
+the file back into a :class:`~repro.telemetry.session.CrawlSessionReport`.
+Because the report is a pure function of the event stream, the replayed
+report is *identical* to one built live from a memory sink — the
+round-trip test in ``tests/test_telemetry_session.py`` asserts equality.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .events import TelemetryEvent, read_jsonl
+from .session import CrawlSessionReport
+
+
+def load_trace(path: str) -> List[TelemetryEvent]:
+    """Read a JSONL trace written by :class:`~repro.telemetry.events.JsonlSink`."""
+    return read_jsonl(path)
+
+
+def replay_report(path: str) -> CrawlSessionReport:
+    """Fold a JSONL trace into a crawl-session report."""
+    return CrawlSessionReport.from_events(load_trace(path))

@@ -1,0 +1,111 @@
+"""The per-session telemetry handle threaded through the pipeline.
+
+One :class:`Telemetry` object accompanies one crawl session.  It bundles
+the three observability primitives — a :class:`MetricsRegistry`, a
+:class:`Tracer` on the session's simulated clock, and an
+:class:`EventBus` with whatever sinks the caller attached — and stamps
+every published event with simulated time, a sequence number, and the
+currently open pipeline phase.
+
+Instrumented components treat their telemetry reference as optional:
+``None`` means observability is off and the hot path must not allocate
+anything (the overhead benchmark holds instrumentation under 10% even
+with the JSONL sink on; with no telemetry the cost is one ``is None``
+check per call site).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.osn.clock import SimClock
+
+from .events import EventBus, JsonlSink, MemorySink, PrometheusSink, Sink, TelemetryEvent
+from .metrics import MetricsRegistry
+from .tracing import NO_PHASE, Span, Tracer
+
+
+class Telemetry:
+    """Registry + tracer + event bus for one crawl session."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        sinks: Iterable[Sink] = (),
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.clock = clock
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.bus = EventBus(sinks)
+        self.tracer = Tracer(clock, emit=self.emit)
+        self._seq = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def in_memory(cls, clock: SimClock) -> "Telemetry":
+        """A telemetry session whose events stay in a memory sink."""
+        return cls(clock, sinks=[MemorySink()])
+
+    @classmethod
+    def to_jsonl(
+        cls, clock: SimClock, path: str, keep_in_memory: bool = False
+    ) -> "Telemetry":
+        """A telemetry session that writes a JSONL trace on close."""
+        sinks: List[Sink] = [JsonlSink(path)]
+        if keep_in_memory:
+            sinks.insert(0, MemorySink())
+        return cls(clock, sinks=sinks)
+
+    def add_prometheus(self, path: str) -> None:
+        """Also snapshot the metrics registry to ``path`` on close."""
+        self.bus.add_sink(PrometheusSink(path, self.registry))
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> str:
+        """The innermost open span's name (events are attributed to it)."""
+        return self.tracer.current or NO_PHASE
+
+    def emit(self, kind: str, **fields) -> TelemetryEvent:
+        """Stamp and publish one event to every sink."""
+        phase = fields.pop("phase", None)
+        event = TelemetryEvent(
+            kind=kind,
+            seq=self._seq,
+            sim_ts=self.clock.seconds(),
+            phase=phase if phase is not None else self.phase,
+            fields=fields,
+        )
+        self._seq += 1
+        self.bus.publish(event)
+        return event
+
+    def span(self, name: str) -> Span:
+        """Open a pipeline phase; closing it emits a ``span`` event."""
+        return self.tracer.span(name)
+
+    # ------------------------------------------------------------------
+    # Introspection / shutdown
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[TelemetryEvent]:
+        """Events captured by the first memory sink (empty if none)."""
+        for sink in self.bus.sinks:
+            if isinstance(sink, MemorySink):
+                return sink.events
+        return []
+
+    @property
+    def event_count(self) -> int:
+        return self._seq
+
+    def close(self) -> None:
+        """Flush every sink exactly once."""
+        if not self._closed:
+            self._closed = True
+            self.bus.close()

@@ -1,0 +1,107 @@
+"""Sim-clock-aware spans over the attack pipeline.
+
+The paper measures crawl cost in *simulated* time (polite sleeps and
+backoff penalties advance a :class:`~repro.osn.clock.SimClock`, never
+the wall clock), so a span here records two durations:
+
+* ``sim_seconds`` — how much simulated crawl time the step consumed,
+  the unit Table 3's "crawl duration" is expressed in;
+* ``wall_seconds`` — how long the step actually took to compute, the
+  number perf work cares about.
+
+Spans nest; the innermost open span names the pipeline *phase* that
+every metric increment and event is attributed to (seeds, core,
+candidates, scoring, threshold).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.osn.clock import SimClock
+
+#: Phase label used when no span is open.
+NO_PHASE = "-"
+
+
+@dataclass
+class SpanRecord:
+    """A finished span."""
+
+    name: str
+    parent: str
+    sim_start: float
+    sim_end: float
+    wall_seconds: float
+
+    @property
+    def sim_seconds(self) -> float:
+        return self.sim_end - self.sim_start
+
+
+class Span:
+    """An open span; use via ``with tracer.span("seeds"):``."""
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.parent = tracer.current or NO_PHASE
+        self.sim_start = tracer.clock.seconds()
+        self.wall_start = time.perf_counter()
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.tracer._finish(self, error=exc_type is not None)
+
+
+class Tracer:
+    """Tracks nested spans against a simulated clock."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        emit: Optional[Callable[..., None]] = None,
+    ) -> None:
+        self.clock = clock
+        self._emit = emit
+        self._stack: List[Span] = []
+        self.finished: List[SpanRecord] = []
+
+    @property
+    def current(self) -> Optional[str]:
+        """Name of the innermost open span, or ``None``."""
+        return self._stack[-1].name if self._stack else None
+
+    def span(self, name: str) -> Span:
+        return Span(self, name)
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _finish(self, span: Span, error: bool = False) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(f"span {span.name!r} closed out of order")
+        self._stack.pop()
+        record = SpanRecord(
+            name=span.name,
+            parent=span.parent,
+            sim_start=span.sim_start,
+            sim_end=self.clock.seconds(),
+            wall_seconds=time.perf_counter() - span.wall_start,
+        )
+        self.finished.append(record)
+        if self._emit is not None:
+            self._emit(
+                "span",
+                name=record.name,
+                parent=record.parent,
+                sim_start=record.sim_start,
+                sim_seconds=record.sim_seconds,
+                wall_seconds=record.wall_seconds,
+                error=error,
+            )

@@ -142,3 +142,117 @@ class TestResilience:
         assert crawl.pool.is_disabled(accounts["crawler"].user_id) or True
         report = crawl.effort_report()
         assert report.profile_requests == 4
+
+
+class TestThrottleExhaustion:
+    """Edge paths of ``_get``'s retry loop (paper: anti-crawling defences)."""
+
+    def _stuck_client(self, school_network, telemetry=None):
+        """A client whose single account is throttled on every request.
+
+        One request fits the window and the window never expires, so
+        every retry earns another RateLimitedError without ever
+        reaching the disable threshold.
+        """
+        net, school, accounts = school_network
+        frontend = HtmlFrontend(
+            net,
+            RateLimitConfig(
+                max_requests=1, window_seconds=10**9, strikes_to_disable=10**6
+            ),
+            telemetry=telemetry,
+        )
+        crawl = CrawlClient(
+            frontend,
+            AccountPool.of([accounts["crawler"].user_id]),
+            PolitenessPolicy(base_delay_seconds=0, jitter_seconds=0),
+            telemetry=telemetry,
+        )
+        return crawl, accounts
+
+    def test_retry_exhaustion_reraises_rate_limited(self, school_network):
+        from repro.osn.errors import RateLimitedError
+
+        crawl, accounts = self._stuck_client(school_network)
+        assert crawl.fetch_profile(accounts["alumnus"].user_id) is not None
+        with pytest.raises(RateLimitedError):
+            crawl.fetch_profile(accounts["alumnus"].user_id)
+        # Only the first, successful GET was charged to the effort count.
+        assert crawl.counter.total == 1
+
+    def test_exhaustion_emits_throttles_then_gives_up(self, school_network):
+        from repro.crawler.client import _MAX_THROTTLE_RETRIES
+        from repro.osn.clock import SimClock
+        from repro.osn.errors import RateLimitedError
+        from repro.telemetry import Telemetry
+
+        net, _, _ = school_network
+        telemetry = Telemetry.in_memory(net.clock)
+        crawl, accounts = self._stuck_client(school_network, telemetry=telemetry)
+        crawl.fetch_profile(accounts["alumnus"].user_id)
+        with pytest.raises(RateLimitedError):
+            crawl.fetch_profile(accounts["alumnus"].user_id)
+        throttles = [e for e in telemetry.events if e.kind == "throttle"]
+        exhausted = [e for e in telemetry.events if e.kind == "retry_exhausted"]
+        assert len(throttles) == _MAX_THROTTLE_RETRIES
+        assert len(exhausted) == 1
+        assert exhausted[0].fields["throttles"] == _MAX_THROTTLE_RETRIES + 1
+
+
+class TestPinnedAccountDisabled:
+    def _strict_frontend(self, net):
+        """Second request from any account permanently disables it."""
+        return HtmlFrontend(
+            net,
+            RateLimitConfig(max_requests=1, window_seconds=10**9, strikes_to_disable=1),
+        )
+
+    def test_pinned_account_disabled_raises_not_rotates(self, school_network):
+        from repro.osn.errors import AccountDisabledError
+
+        net, school, accounts = school_network
+        extra = net.register_account(
+            profile=Profile(name=Name("Crawl", "Two")),
+            registered_birthday=Birthday(1985),
+            settings=PrivacySettings.everything_private(),
+            is_fake=True,
+        )
+        pinned = accounts["crawler"].user_id
+        crawl = CrawlClient(
+            self._strict_frontend(net),
+            AccountPool.of([pinned, extra.user_id]),
+            PolitenessPolicy(base_delay_seconds=0, jitter_seconds=0),
+        )
+        crawl._get(f"/profile/{accounts['alumnus'].user_id}", None, "profiles",
+                   account_id=pinned)
+        with pytest.raises(AccountDisabledError):
+            crawl._get(f"/profile/{accounts['alumnus'].user_id}", None, "profiles",
+                       account_id=pinned)
+        # The pinned account is retired, and the pool's spare was never touched.
+        assert crawl.pool.is_disabled(pinned)
+        assert not crawl.pool.is_disabled(extra.user_id)
+        assert crawl.effort_report().accounts_used == 1
+
+    def test_unpinned_disable_rotates_to_spare(self, school_network):
+        net, school, accounts = school_network
+        extra = net.register_account(
+            profile=Profile(name=Name("Crawl", "Two")),
+            registered_birthday=Birthday(1985),
+            settings=PrivacySettings.everything_private(),
+            is_fake=True,
+        )
+        burned = accounts["crawler"].user_id
+        frontend = self._strict_frontend(net)
+        crawl = CrawlClient(
+            frontend,
+            AccountPool.of([burned, extra.user_id]),
+            PolitenessPolicy(base_delay_seconds=0, jitter_seconds=0),
+        )
+        # Exhaust the first account's budget behind the client's back, so
+        # its next rotation turn disables it mid-crawl.
+        frontend.get(burned, f"/profile/{accounts['alumnus'].user_id}")
+        assert crawl.fetch_profile(accounts["alumnus"].user_id) is not None
+        assert crawl.pool.is_disabled(burned)
+        assert not crawl.pool.is_disabled(extra.user_id)
+        # The spare account absorbed the request after the rotation.
+        assert crawl.effort_report().accounts_used == 1

@@ -80,3 +80,30 @@ class TestValidation:
     def test_backoff_below_one_rejected(self):
         with pytest.raises(ValueError):
             PolitenessPolicy(backoff_factor=0.5).validate()
+
+    def test_negative_max_backoff_rejected(self):
+        with pytest.raises(ValueError, match="max_backoff_seconds"):
+            PolitenessPolicy(base_delay_seconds=0, max_backoff_seconds=-5).validate()
+
+    def test_max_backoff_below_base_delay_rejected(self):
+        with pytest.raises(ValueError, match="max_backoff_seconds"):
+            PolitenessPolicy(base_delay_seconds=10.0, max_backoff_seconds=5.0).validate()
+
+    def test_max_backoff_equal_to_base_delay_allowed(self):
+        PolitenessPolicy(base_delay_seconds=5.0, max_backoff_seconds=5.0).validate()
+
+    def test_pacer_construction_enforces_validation(self):
+        with pytest.raises(ValueError, match="max_backoff_seconds"):
+            Pacer(SimClock(), PolitenessPolicy(max_backoff_seconds=-1.0))
+
+
+class TestThrottleReturnsPenalty:
+    def test_on_throttle_returns_seconds_slept(self):
+        clock = SimClock()
+        pacer = Pacer(
+            clock, PolitenessPolicy(backoff_factor=2.0, max_backoff_seconds=15.0)
+        )
+        assert pacer.on_throttle(10.0) == pytest.approx(10.0)
+        # Second consecutive throttle escalates to 20s but is capped at 15.
+        assert pacer.on_throttle(10.0) == pytest.approx(15.0)
+        assert clock.elapsed_seconds == pytest.approx(25.0)

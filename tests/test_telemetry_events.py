@@ -1,0 +1,116 @@
+"""Tests for the event bus and its sinks (memory, JSONL, Prometheus)."""
+
+import pytest
+
+from repro.osn.clock import SimClock
+from repro.telemetry.events import (
+    EventBus,
+    JsonlSink,
+    MemorySink,
+    PrometheusSink,
+    TelemetryEvent,
+    read_jsonl,
+)
+from repro.telemetry.runtime import Telemetry
+
+
+def _event(seq=0, kind="request", **fields):
+    return TelemetryEvent(kind=kind, seq=seq, sim_ts=1.5, phase="seeds", fields=fields)
+
+
+class TestEventBus:
+    def test_fans_out_to_all_sinks(self):
+        a, b = MemorySink(), MemorySink()
+        bus = EventBus([a, b])
+        bus.publish(_event())
+        assert len(a.events) == 1
+        assert len(b.events) == 1
+
+    def test_add_sink_after_construction(self):
+        bus = EventBus()
+        late = MemorySink()
+        bus.add_sink(late)
+        bus.publish(_event())
+        assert len(late.events) == 1
+
+
+class TestJsonlSink:
+    def test_round_trips_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        events = [
+            _event(seq=0, account=7, category="seeds"),
+            _event(seq=1, kind="throttle", account=7, retry_after=2.5, slept=5.0),
+        ]
+        for event in events:
+            sink.handle(event)
+        assert sink.event_count == 2
+        sink.close()
+        assert read_jsonl(str(path)) == events
+
+    def test_nothing_written_before_close(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.handle(_event())
+        assert not path.exists()
+        sink.close()
+        assert path.exists()
+
+    def test_close_idempotent(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.handle(_event())
+        sink.close()
+        sink.close()
+        assert len(read_jsonl(str(path))) == 1
+
+    def test_float_fields_round_trip_exactly(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        original = _event(slept=0.30000000000000004, retry_after=1 / 3)
+        sink.handle(original)
+        sink.close()
+        (loaded,) = read_jsonl(str(path))
+        assert loaded.fields["slept"] == original.fields["slept"]
+        assert loaded.fields["retry_after"] == original.fields["retry_after"]
+
+
+class TestPrometheusSink:
+    def test_snapshots_registry_on_close(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        telemetry = Telemetry(SimClock())
+        telemetry.bus.add_sink(PrometheusSink(str(path), telemetry.registry))
+        telemetry.registry.counter("hits_total").labels().inc(2)
+        telemetry.emit("request")  # events are ignored by this sink
+        telemetry.close()
+        text = path.read_text()
+        assert "# TYPE hits_total counter" in text
+        assert "hits_total 2" in text
+
+
+class TestTelemetryHandle:
+    def test_in_memory_constructor(self):
+        telemetry = Telemetry.in_memory(SimClock())
+        telemetry.emit("request", account=1)
+        assert [e.kind for e in telemetry.events] == ["request"]
+
+    def test_to_jsonl_constructor(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        telemetry = Telemetry.to_jsonl(SimClock(), str(path), keep_in_memory=True)
+        telemetry.emit("request", account=1)
+        telemetry.close()
+        assert read_jsonl(str(path)) == telemetry.events
+
+    def test_close_idempotent(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        telemetry = Telemetry.to_jsonl(SimClock(), str(path))
+        telemetry.emit("request")
+        telemetry.close()
+        telemetry.close()
+        assert len(read_jsonl(str(path))) == 1
+
+    def test_explicit_phase_overrides_stack(self):
+        telemetry = Telemetry.in_memory(SimClock())
+        with telemetry.span("seeds"):
+            telemetry.emit("request", phase="custom")
+        assert telemetry.events[0].phase == "custom"

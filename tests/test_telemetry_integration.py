@@ -1,0 +1,155 @@
+"""End-to-end telemetry: a full instrumented HS1 attack, CLI included.
+
+The acceptance bar from the telemetry subsystem: the event stream and
+the metrics registry must agree *exactly* with the pipeline's own
+effort accounting (:class:`~repro.crawler.effort.EffortReport`), both
+live and after a JSONL round-trip through ``python -m repro trace``.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.crawler.effort import (
+    CATEGORY_FRIEND_LISTS,
+    CATEGORY_PROFILES,
+    CATEGORY_SEEDS,
+)
+from repro.core.api import run_attack
+from repro.core.profiler import ProfilerConfig
+from repro.telemetry import (
+    CrawlSessionReport,
+    JsonlSink,
+    MemorySink,
+    Telemetry,
+    replay_report,
+)
+from repro.worldgen.presets import hs1
+from repro.worldgen.world import build_world
+
+
+@pytest.fixture(scope="module")
+def instrumented_hs1(tmp_path_factory):
+    """One instrumented enhanced+filtered HS1 attack (module-private world)."""
+    world = build_world(hs1())
+    path = tmp_path_factory.mktemp("telemetry") / "hs1.jsonl"
+    telemetry = Telemetry(
+        world.network.clock, sinks=[MemorySink(), JsonlSink(str(path))]
+    )
+    result = run_attack(
+        world,
+        accounts=2,
+        config=ProfilerConfig(threshold=500, enhanced=True, filtering=True),
+        telemetry=telemetry,
+    )
+    telemetry.close()
+    return world, telemetry, result, str(path)
+
+
+class TestEffortAgreement:
+    def test_request_events_match_effort_total(self, instrumented_hs1):
+        _, telemetry, result, _ = instrumented_hs1
+        requests = [e for e in telemetry.events if e.kind == "request"]
+        assert len(requests) == result.effort.total
+
+    def test_registry_counter_matches_effort_total(self, instrumented_hs1):
+        _, telemetry, result, _ = instrumented_hs1
+        family = telemetry.registry.get("crawl_requests_total")
+        assert family is not None
+        assert family.total() == result.effort.total
+
+    def test_per_category_counts_match(self, instrumented_hs1):
+        _, telemetry, result, _ = instrumented_hs1
+        report = CrawlSessionReport.from_events(telemetry.events)
+        assert report.category_count(CATEGORY_SEEDS) == result.effort.seed_requests
+        assert report.category_count(CATEGORY_PROFILES) == result.effort.profile_requests
+        assert (
+            report.category_count(CATEGORY_FRIEND_LISTS)
+            == result.effort.friend_list_requests
+        )
+
+    def test_accounts_used_match(self, instrumented_hs1):
+        _, telemetry, result, _ = instrumented_hs1
+        report = CrawlSessionReport.from_events(telemetry.events)
+        assert report.accounts_used == result.effort.accounts_used
+
+    def test_frontend_attempts_cover_every_effort_request(self, instrumented_hs1):
+        world, telemetry, result, _ = instrumented_hs1
+        http = [e for e in telemetry.events if e.kind == "http"]
+        # request_count omits attempts rejected by auth or the limiter
+        assert len(http) >= world.frontend.request_count
+        ok = [e for e in http if e.fields["outcome"] == "ok"]
+        assert len(ok) == result.effort.total
+
+
+class TestPhases:
+    def test_every_methodology_step_has_a_span(self, instrumented_hs1):
+        _, telemetry, _, _ = instrumented_hs1
+        span_names = {e.fields["name"] for e in telemetry.events if e.kind == "span"}
+        assert {"setup", "seeds", "core", "scoring", "candidates", "threshold"} <= span_names
+
+    def test_phase_request_totals_sum_to_effort(self, instrumented_hs1):
+        _, telemetry, result, _ = instrumented_hs1
+        report = CrawlSessionReport.from_events(telemetry.events)
+        assert sum(p.pages for p in report.phases.values()) == result.effort.total
+
+    def test_sim_time_attributed_to_phases(self, instrumented_hs1):
+        _, telemetry, _, _ = instrumented_hs1
+        report = CrawlSessionReport.from_events(telemetry.events)
+        crawl_phases = ("seeds", "core")
+        assert all(report.phases[p].sim_seconds > 0 for p in crawl_phases)
+
+
+class TestJsonlReplay:
+    def test_replay_equals_live_report(self, instrumented_hs1):
+        _, telemetry, _, path = instrumented_hs1
+        live = CrawlSessionReport.from_events(telemetry.events)
+        replayed = replay_report(path)
+        assert replayed == live
+
+    def test_trace_cli_prints_matching_total(self, instrumented_hs1, capsys):
+        _, _, result, path = instrumented_hs1
+        assert main(["trace", path]) == 0
+        out = capsys.readouterr().out
+        assert f"total requests (effort): {result.effort.total}" in out
+
+
+class TestCliAttackTelemetry:
+    def test_attack_writes_trace_and_trace_replays_it(self, tmp_path, capsys):
+        trace_path = tmp_path / "tiny.jsonl"
+        prom_path = tmp_path / "tiny.prom"
+        code = main(
+            [
+                "attack",
+                "--preset",
+                "tiny",
+                "-t",
+                "120",
+                "--telemetry",
+                str(trace_path),
+                "--prometheus",
+                str(prom_path),
+            ]
+        )
+        assert code == 0
+        attack_out = capsys.readouterr().out
+        assert "telemetry:" in attack_out
+        gets = int(
+            next(
+                line for line in attack_out.splitlines() if "HTTP GETs" in line
+            ).split("|")[1]
+        )
+
+        assert main(["trace", str(trace_path)]) == 0
+        trace_out = capsys.readouterr().out
+        assert f"total requests (effort): {gets}" in trace_out
+        assert "crawl_requests_total" in prom_path.read_text()
+
+
+class TestOffByDefault:
+    def test_uninstrumented_attack_allocates_no_telemetry(self, tiny_world):
+        from repro.core.api import make_client
+
+        client = make_client(tiny_world, accounts=2)
+        assert client.telemetry is None
+        assert client.pacer.telemetry is None
+        assert tiny_world.frontend.telemetry is None

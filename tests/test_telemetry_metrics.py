@@ -1,0 +1,163 @@
+"""Tests for the metrics model: families, labels, histograms, exposition."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+
+
+class TestLabelSemantics:
+    def test_same_labels_same_series(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total", labelnames=("category",))
+        family.labels(category="seeds").inc()
+        family.labels(category="seeds").inc(2)
+        assert family.labels(category="seeds").value == 3
+
+    def test_distinct_labels_distinct_series(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total", labelnames=("category",))
+        family.labels(category="seeds").inc()
+        family.labels(category="profiles").inc(5)
+        assert family.labels(category="seeds").value == 1
+        assert family.labels(category="profiles").value == 5
+        assert family.total() == 6
+        assert family.series_count() == 2
+
+    def test_label_values_coerced_to_str(self):
+        registry = MetricsRegistry()
+        family = registry.counter("by_account", labelnames=("account",))
+        family.labels(account=17).inc()
+        assert family.labels(account="17").value == 1
+
+    def test_missing_label_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total", labelnames=("category", "phase"))
+        with pytest.raises(ValueError):
+            family.labels(category="seeds")
+
+    def test_extra_label_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total", labelnames=("category",))
+        with pytest.raises(ValueError):
+            family.labels(category="seeds", phase="core")
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total", labelnames=("a", "b"))
+        family.labels(a="1", b="2").inc()
+        assert family.labels(b="2", a="1").value == 1
+
+    def test_no_label_family_uses_empty_labels(self):
+        registry = MetricsRegistry()
+        family = registry.counter("total")
+        family.labels().inc(4)
+        assert family.labels().value == 4
+
+    def test_reregistration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", labelnames=("category",))
+        second = registry.counter("requests_total", labelnames=("category",))
+        assert first is second
+
+    def test_conflicting_reregistration_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", labelnames=("category",))
+        with pytest.raises(ValueError):
+            registry.gauge("requests_total", labelnames=("category",))
+        with pytest.raises(ValueError):
+            registry.counter("requests_total", labelnames=("other",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_name", labelnames=("bad-label",))
+
+
+class TestCounterAndGauge:
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        series = registry.counter("ups").labels()
+        with pytest.raises(ValueError):
+            series.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("usable_accounts").labels()
+        gauge.set(4)
+        gauge.dec()
+        gauge.inc(2)
+        assert gauge.value == 5
+
+
+class TestHistogramBucketing:
+    def test_observations_land_in_correct_buckets(self):
+        hist = Histogram(buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 3.0, 7.0, 100.0):
+            hist.observe(value)
+        # raw (non-cumulative) counts: <=1, (1,5], (5,10], >10
+        assert hist.bucket_counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(111.5)
+        assert hist.min == 0.5
+        assert hist.max == 100.0
+
+    def test_cumulative_ends_with_inf_and_total(self):
+        hist = Histogram(buckets=(1.0, 5.0))
+        for value in (0.1, 2.0, 50.0):
+            hist.observe(value)
+        cumulative = hist.cumulative()
+        assert cumulative == [(1.0, 1), (5.0, 2), (float("inf"), 3)]
+
+    def test_boundary_value_counts_in_lower_bucket(self):
+        hist = Histogram(buckets=(1.0, 5.0))
+        hist.observe(1.0)
+        assert hist.bucket_counts[0] == 1
+
+    def test_default_buckets_cover_sleep_scales(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sleep_seconds").labels()
+        assert hist.buckets == DEFAULT_BUCKETS
+        hist.observe(2.5)
+        assert hist.count == 1
+
+
+class TestPrometheusExposition:
+    def test_counter_rendering(self):
+        registry = MetricsRegistry()
+        family = registry.counter(
+            "requests_total", "Requests by category", labelnames=("category",)
+        )
+        family.labels(category="seeds").inc(3)
+        text = render_prometheus(registry)
+        assert "# HELP requests_total Requests by category" in text
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{category="seeds"} 3' in text
+
+    def test_histogram_rendering(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("lat", buckets=(1.0, 5.0))
+        family.labels().observe(0.5)
+        family.labels().observe(3.0)
+        text = render_prometheus(registry)
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="5"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 3.5" in text
+        assert "lat_count 2" in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        family = registry.counter("odd", labelnames=("path",))
+        family.labels(path='a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        assert 'odd{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""

@@ -42,6 +42,7 @@ from repro.analysis.robustness import run_across_seeds
 from repro.core.countermeasures import run_countermeasure_comparison, run_countermeasure_suite
 from repro.core.evaluation import evaluate_full, sweep_full
 from repro.core.profiler import ProfilerConfig
+from repro.lint.cli import add_lint_arguments, run_lint
 from repro.osn.policy import policy_by_name
 from repro.telemetry import Telemetry, replay_report
 from repro.worldgen.export import export_world_json
@@ -402,6 +403,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="include per-account records and the edge list",
     )
     export.set_defaults(func=cmd_export)
+
+    lint = sub.add_parser(
+        "lint",
+        help="oracle-boundary / determinism / sim-clock static checks",
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=run_lint)
 
     return parser
 

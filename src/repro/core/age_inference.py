@@ -19,11 +19,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from statistics import mean, median
-from typing import Dict, List, Mapping, Optional
-
-from repro.worldgen.world import World
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
 from .extension import ASSUMED_GRADUATION_AGE, ExtendedProfile
+from .oracle import GroundTruthOracle
+
+if TYPE_CHECKING:
+    from .oracle import WorldLike
 
 
 @dataclass(frozen=True)
@@ -83,25 +85,24 @@ class AgeInferenceEvaluation:
 
 def evaluate_age_inference(
     estimates: Mapping[int, AgeEstimate],
-    world: World,
+    world: WorldLike,
     school_index: int = 0,
 ) -> AgeInferenceEvaluation:
     """Compare both estimators to real birth years (ground truth).
 
     Only inferred students who are *actual* students are scored — the
     estimators cannot be meaningfully right about false positives.
+    Ground truth arrives through the narrow evaluation seam
+    (:class:`~repro.core.oracle.GroundTruthOracle`), never by reading
+    simulator internals here.
     """
-    truth = world.ground_truth(school_index)
-    students = truth.all_student_uids
+    oracle = GroundTruthOracle.coerce(world, school_index)
     cohort_errors: List[float] = []
     friend_errors: List[float] = []
     for uid, estimate in estimates.items():
-        if uid not in students:
+        real = oracle.real_birth_year(uid)
+        if real is None:
             continue
-        person_id = world.account_index.person_for(uid)
-        if person_id is None:
-            continue
-        real = int(world.population.person(person_id).birth_year_fraction)
         if estimate.cohort_estimate is not None:
             cohort_errors.append(abs(estimate.cohort_estimate - real))
         if estimate.friend_estimate is not None:

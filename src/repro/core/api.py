@@ -7,16 +7,20 @@ accounts, and run the chosen methodology variant.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.crawler.accounts import AccountPool
 from repro.crawler.client import CrawlClient
 from repro.crawler.politeness import PolitenessPolicy
 from repro.crawler.storage import CrawlStore
 from repro.telemetry.runtime import Telemetry
-from repro.worldgen.world import World
 
 from .profiler import AttackResult, HighSchoolProfiler, ProfilerConfig
+
+if TYPE_CHECKING:
+    # Typing only: at runtime the world arrives as an opaque handle and
+    # everything the attack sees flows through its HTML frontend.
+    from repro.worldgen.world import World
 
 
 def make_client(

@@ -133,7 +133,7 @@ def collect_test_users(
     first crawl's seeds).  Returns uid -> claimed class year.
     """
     if current_year is None:
-        current_year = school_class_year(client.frontend.network.clock.now_year)
+        current_year = school_class_year(client.frontend.clock.now_year)
     excluded = set(exclude)
     seeds = client.collect_seeds(school_id)
     fresh = {uid: name for uid, name in seeds.items() if uid not in excluded}

@@ -23,7 +23,7 @@ from statistics import mean
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.crawler.client import CrawlClient
-from repro.osn.profile import Gender
+from repro.osn.public import Gender
 from repro.osn.view import ProfileView
 
 from .profiler import AttackResult

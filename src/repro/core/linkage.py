@@ -18,12 +18,49 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional
-
-from repro.worldgen.records import VoterRegistry
-from repro.worldgen.world import World
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+)
 
 from .extension import ExtendedProfile
+from .oracle import GroundTruthOracle
+
+if TYPE_CHECKING:
+    from .oracle import WorldLike
+
+
+class VoterRecordLike(Protocol):
+    """One row of the purchased registry: a registered voter."""
+
+    street_address: str
+    city: str
+
+
+class VoterFile(Protocol):
+    """The data broker's purchased public-records interface.
+
+    The paper's broker buys a voter registry — public data, so querying
+    it is inside the attacker's threat model.  Structural typing keeps
+    this module decoupled from the simulator's concrete
+    ``repro.worldgen.records.VoterRegistry``.
+    """
+
+    def lookup(self, last_name: str, city: str) -> Sequence[VoterRecordLike]:
+        """All registered voters with this surname in this city."""
+        ...
+
+    def lookup_person(
+        self, first_name: str, last_name: str, city: str
+    ) -> Optional[VoterRecordLike]:
+        """An exact (first, last, city) match, if registered."""
+        ...
 
 
 class Confidence(enum.Enum):
@@ -49,7 +86,7 @@ def _surname(full_name: str) -> str:
 
 def link_home_addresses(
     extended: Mapping[int, ExtendedProfile],
-    registry: VoterRegistry,
+    registry: VoterFile,
     friend_name_of: Optional[Callable[[int], Optional[str]]] = None,
 ) -> Dict[int, List[AddressCandidate]]:
     """Match every extended profile against the voter file.
@@ -148,19 +185,16 @@ class LinkageEvaluation:
 
 def evaluate_linkage(
     linked: Mapping[int, List[AddressCandidate]],
-    world: World,
+    world: WorldLike,
     school_index: int = 0,
 ) -> LinkageEvaluation:
-    """Score address links against the ground-truth households."""
-    truth = world.ground_truth(school_index)
-    true_address: Dict[int, str] = {}
-    for uid in truth.all_student_uids:
-        person_id = world.account_index.person_for(uid)
-        if person_id is None:
-            continue
-        person = world.population.person(person_id)
-        if person.street_address is not None:
-            true_address[uid] = person.street_address
+    """Score address links against the ground-truth households.
+
+    Ground truth arrives through the evaluation seam
+    (:class:`~repro.core.oracle.GroundTruthOracle`), never by reading
+    simulator internals here.
+    """
+    true_address = GroundTruthOracle.coerce(world, school_index).known_addresses
 
     linked_known = {
         uid: candidates for uid, candidates in linked.items() if uid in true_address

@@ -29,7 +29,7 @@ from repro.crawler.client import CrawlClient
 from repro.osn.clock import school_class_year
 from repro.crawler.effort import EffortReport
 from repro.crawler.storage import CrawlStore
-from repro.osn.network import School
+from repro.osn.public import School
 from repro.osn.view import ProfileView
 
 from .coreset import CoreSet, claimed_graduation_year, extract_claims
@@ -159,7 +159,7 @@ class HighSchoolProfiler:
         with self._span("setup"):
             school = self.client.fetch_school(self.school_id)
         current_year = school_class_year(
-            self.client.frontend.network.clock.now_year
+            self.client.frontend.clock.now_year
         )
         threshold = config.threshold or school.enrollment_hint or 400
 

@@ -21,7 +21,7 @@ from repro.osn.errors import (
     RateLimitedError,
 )
 from repro.osn.frontend import HtmlFrontend
-from repro.osn.network import DirectoryEntry, School
+from repro.osn.public import DirectoryEntry, School
 from repro.osn.pages import (
     parse_action_page,
     parse_friends_page,
@@ -62,7 +62,7 @@ class CrawlClient:
         self.frontend = frontend
         self.pool = pool
         self.telemetry = telemetry
-        self.pacer = Pacer(frontend.network.clock, politeness, telemetry=telemetry)
+        self.pacer = Pacer(frontend.clock, politeness, telemetry=telemetry)
         if counter is None:
             counter = EffortCounter(
                 registry=telemetry.registry if telemetry is not None else None

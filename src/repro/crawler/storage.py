@@ -15,8 +15,7 @@ import sqlite3
 from dataclasses import asdict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.osn.network import DirectoryEntry
-from repro.osn.profile import Gender, SchoolAffiliation
+from repro.osn.public import DirectoryEntry, Gender, SchoolAffiliation
 from repro.osn.view import ProfileView, WallPostView
 
 _SCHEMA = """

@@ -1,0 +1,49 @@
+"""Static analysis enforcing this repo's three non-negotiables.
+
+1. **The oracle boundary** (ORACLE001/ORACLE002): attacker code — the
+   crawler and the profiling pipeline — may only learn what the OSN's
+   stranger-facing interface exposes, never the simulator's ground
+   truth.  The paper's result is vacuous without this.
+2. **Determinism** (DET001): all randomness flows through explicitly
+   seeded generators, so every experiment replays bit-for-bit.
+3. **Sim-clock discipline** (CLOCK001): simulation and attack code tell
+   time with the :class:`~repro.osn.clock.SimClock`; only telemetry may
+   touch the wall clock.
+
+Plus general hygiene (MUT001, mutable default arguments).  Run with
+``python -m repro lint``; silence individual findings with
+``# repro-lint: allow(RULE) -- justification``.
+"""
+
+from .baseline import Baseline
+from .engine import (
+    LintReport,
+    PARSE_ERROR_RULE,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    module_name_for,
+)
+from .findings import Finding
+from .reporting import render_json, render_text
+from .rules import Rule, all_rules, register, rule_ids
+from .suppressions import DIRECTIVE_RULE, parse_suppressions
+
+__all__ = [
+    "Baseline",
+    "DIRECTIVE_RULE",
+    "Finding",
+    "LintReport",
+    "PARSE_ERROR_RULE",
+    "Rule",
+    "all_rules",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "parse_suppressions",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_ids",
+]

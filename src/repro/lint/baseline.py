@@ -1,0 +1,78 @@
+"""Baseline files: grandfather existing findings without hiding new ones.
+
+A baseline is a JSON document recording finding fingerprints
+(rule + path + message, no line numbers) with multiplicities.  During a
+run, each finding consumes one matching baseline slot; findings with no
+slot left are *new* and fail the build.  The repo ships an empty
+baseline — the goal is to keep it empty.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+FORMAT_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    entries: "Counter[Fingerprint]" = field(default_factory=Counter)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        return cls(Counter(f.fingerprint for f in findings))
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if not isinstance(document, dict) or "findings" not in document:
+            raise ValueError(f"{path!r} is not a repro-lint baseline file")
+        version = document.get("version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"{path!r} has baseline format version {version!r}; "
+                f"this checker reads version {FORMAT_VERSION}"
+            )
+        entries: "Counter[Fingerprint]" = Counter()
+        for row in document["findings"]:
+            fingerprint = (row["rule"], row["path"], row["message"])
+            entries[fingerprint] += int(row.get("count", 1))
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        rows = [
+            {"rule": rule, "path": file_path, "message": message, "count": count}
+            for (rule, file_path, message), count in sorted(self.entries.items())
+        ]
+        document = {"version": FORMAT_VERSION, "findings": rows}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def partition(self, findings: List[Finding]) -> Tuple[List[Finding], int]:
+        """Split findings into (new, number baselined).
+
+        Consumes baseline slots in order, so a file that *grows* more
+        instances of a grandfathered finding still fails.
+        """
+        remaining: Dict[Fingerprint, int] = dict(self.entries)
+        fresh: List[Finding] = []
+        matched = 0
+        for finding in findings:
+            slots = remaining.get(finding.fingerprint, 0)
+            if slots > 0:
+                remaining[finding.fingerprint] = slots - 1
+                matched += 1
+            else:
+                fresh.append(finding)
+        return fresh, matched

@@ -1,0 +1,111 @@
+"""``python -m repro lint`` — the checker's command-line face.
+
+Exit codes: 0 clean (or baseline written), 1 new findings, 2 usage or
+baseline-file errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .baseline import Baseline
+from .engine import lint_paths
+from .reporting import render_json, render_text
+from .rules import all_rules, rule_ids
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="JSON baseline of grandfathered findings",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    rules = all_rules()
+    if args.select:
+        wanted = {part.strip() for part in args.select.split(",") if part.strip()}
+        unknown = wanted - set(rule_ids())
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(rule_ids())})",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        report = lint_paths(args.paths, rules=rules)
+        Baseline.from_findings(report.findings).save(args.baseline)
+        print(f"wrote {len(report.findings)} finding(s) to {args.baseline}")
+        return 0
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except FileNotFoundError:
+            print(f"error: baseline {args.baseline!r} not found", file=sys.stderr)
+            return 2
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: cannot load baseline {args.baseline!r}: {exc}", file=sys.stderr)
+            return 2
+
+    report = lint_paths(args.paths, rules=rules, baseline=baseline)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(report))
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based oracle-boundary, determinism and sim-clock checker.",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `python -m repro lint`
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""The per-file lint pipeline: parse once, run every rule, filter.
+
+For each ``.py`` file the engine parses one AST, derives the dotted
+module name (rules scope themselves by it), runs the selected rules,
+then applies inline suppressions and the baseline.  Files that fail to
+parse produce a ``LINT002`` finding instead of crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .baseline import Baseline
+from .findings import Finding
+from .rules import FileContext, Rule, all_rules
+from .suppressions import parse_suppressions
+
+#: Rule id for files the parser rejects.
+PARSE_ERROR_RULE = "LINT002"
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)  # new, actionable
+    suppressed: int = 0
+    baselined: int = 0
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module for a file path, anchored at the ``repro`` package.
+
+    Falls back to the bare stem for files outside the package — scoped
+    rules then simply don't apply to them.
+    """
+    parts = list(os.path.normpath(os.path.abspath(path)).split(os.sep))
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        return ".".join(parts[anchor:]) or "repro"
+    return parts[-1] if parts else "<unknown>"
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Every ``.py`` file under ``paths``, deterministically ordered."""
+    seen = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs.sort()
+                dirs[:] = [d for d in dirs if d != "__pycache__"]
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        candidate = os.path.join(root, name)
+                        if candidate not in seen:
+                            seen.add(candidate)
+                            yield candidate
+        elif path not in seen:
+            seen.add(path)
+            yield path
+
+
+def lint_source(
+    source: str,
+    module: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one source string (the test fixtures' entry point).
+
+    Returns the findings that survive inline suppressions, sorted by
+    location; baseline filtering is the caller's concern.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    findings, _ = _lint_one(source, module, path, active)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint files/directories and fold in suppressions plus baseline."""
+    active = list(rules) if rules is not None else all_rules()
+    report = LintReport()
+    collected: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        report.files_checked += 1
+        try:
+            with open(file_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            collected.append(
+                Finding(file_path, 1, 0, PARSE_ERROR_RULE, f"cannot read file: {exc}")
+            )
+            continue
+        findings, suppressed = _lint_one(
+            source,
+            module_name_for(file_path),
+            file_path,
+            active,
+            is_package=os.path.basename(file_path) == "__init__.py",
+        )
+        collected.extend(findings)
+        report.suppressed += suppressed
+    collected.sort()
+    if baseline is not None:
+        collected, report.baselined = baseline.partition(collected)
+    report.findings = collected
+    return report
+
+
+def _lint_one(
+    source: str,
+    module: str,
+    path: str,
+    rules: Sequence[Rule],
+    is_package: bool = False,
+) -> Tuple[List[Finding], int]:
+    """All post-suppression findings for one file, plus suppressed count."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    path,
+                    exc.lineno or 1,
+                    (exc.offset or 1) - 1,
+                    PARSE_ERROR_RULE,
+                    f"file does not parse: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    ctx = FileContext.build(path, module, source, tree, is_package=is_package)
+    table = parse_suppressions(source, path)
+    raw: List[Finding] = list(table.findings)
+    for rule in rules:
+        raw.extend(rule.check(ctx))
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        if table.suppresses(finding.line, finding.rule):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort()
+    return kept, suppressed

@@ -1,0 +1,36 @@
+"""Finding: one diagnostic produced by one rule at one source location.
+
+Findings are value objects: rules yield them, the engine filters them
+through suppressions and the baseline, reporters render them.  The
+*fingerprint* deliberately excludes the line number so that unrelated
+edits above a grandfathered finding do not un-baseline it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic at one location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Identity used for baseline matching (line-number free)."""
+        return (self.rule, normalize_path(self.path), self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def normalize_path(path: str) -> str:
+    """Stable, platform-independent form of a finding's path."""
+    return path.replace("\\", "/")

@@ -1,0 +1,41 @@
+"""Render a :class:`~repro.lint.engine.LintReport` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    lines = [finding.render() for finding in report.findings]
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    lines.append(
+        f"{len(report.findings)} {noun} "
+        f"({report.suppressed} suppressed, {report.baselined} baselined) "
+        f"in {report.files_checked} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    document = {
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "message": f.message,
+            }
+            for f in report.findings
+        ],
+        "summary": {
+            "findings": len(report.findings),
+            "suppressed": report.suppressed,
+            "baselined": report.baselined,
+            "files_checked": report.files_checked,
+            "ok": report.ok,
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,16 @@
+"""Rule registry: importing this package registers every built-in rule."""
+
+from .base import FileContext, Rule, all_rules, register, rule_ids
+from . import clock, determinism, mutables, oracle  # noqa: F401  (registration)
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "all_rules",
+    "clock",
+    "determinism",
+    "mutables",
+    "oracle",
+    "register",
+    "rule_ids",
+]

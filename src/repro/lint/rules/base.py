@@ -1,0 +1,123 @@
+"""Rule protocol, registry and the per-file context rules inspect.
+
+A rule is a class with a ``rule_id``, a one-line ``summary`` and a
+``check(ctx)`` generator over :class:`~repro.lint.findings.Finding`.
+Registration happens at import time via :func:`register`; the engine
+asks :func:`all_rules` for one instance of everything registered.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set, Type
+
+from ..findings import Finding
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may look at for one file.
+
+    The tree is parsed once and shared by every rule; ``typing_only``
+    holds the import nodes that live under ``if TYPE_CHECKING:`` — those
+    never execute, so boundary rules treat them as annotations, not as
+    runtime data access.
+    """
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    is_package: bool = False
+    typing_only: Set[ast.AST] = field(default_factory=set)
+
+    @classmethod
+    def build(
+        cls,
+        path: str,
+        module: str,
+        source: str,
+        tree: ast.Module,
+        is_package: bool = False,
+    ) -> "FileContext":
+        return cls(
+            path=path,
+            module=module,
+            source=source,
+            tree=tree,
+            is_package=is_package,
+            typing_only=_typing_only_imports(tree),
+        )
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+    def resolve_relative(self, node: ast.ImportFrom) -> str:
+        """Absolute dotted module a ``from``-import refers to."""
+        if node.level == 0:
+            return node.module or ""
+        # Level 1 is the containing package: the module's parent for a
+        # plain file, the module itself for a package __init__.
+        strip = node.level if not self.is_package else node.level - 1
+        parts = self.module.split(".")
+        base_parts = parts[: len(parts) - strip]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts)
+
+
+class Rule:
+    """Base class for all lint rules."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule_cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    _REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """One instance of every registered rule, ordered by id."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def _typing_only_imports(tree: ast.Module) -> Set[ast.AST]:
+    collected: Set[ast.AST] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+            for child in node.body:
+                for sub in ast.walk(child):
+                    if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                        collected.add(sub)
+    return collected
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False

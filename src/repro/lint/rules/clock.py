@@ -1,0 +1,142 @@
+"""CLOCK001 — simulation and attack code read the sim clock, not the wall.
+
+The whole experiment runs on :class:`repro.osn.clock.SimClock`: rate
+limits, politeness pacing, "current year" semantics.  A stray
+``time.time()`` or ``datetime.now()`` ties results to the machine's
+clock (non-reproducible) and a real ``time.sleep`` would make the
+simulation actually wait.
+
+Telemetry modules (``repro.telemetry.*``) are exempt: observability
+*should* record real wall time.  Duration-only timers
+(``time.perf_counter`` / ``time.monotonic``) are allowed everywhere —
+they cannot leak calendar time into simulation semantics and are what
+the frontend uses to measure serving cost.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from ..findings import Finding
+from .base import FileContext, Rule, register
+from .determinism import dotted_name
+
+#: Module prefixes allowed to read the wall clock.
+WALL_CLOCK_ALLOWLIST = ("repro.telemetry",)
+
+#: ``time`` module attributes that read calendar time or really sleep.
+FORBIDDEN_TIME_FUNCTIONS = frozenset(
+    {"asctime", "ctime", "gmtime", "localtime", "sleep", "time", "time_ns"}
+)
+
+#: Calls through the ``datetime`` module (``datetime.datetime.now()``).
+FORBIDDEN_DATETIME_CALLS = frozenset(
+    {"datetime.now", "datetime.utcnow", "datetime.today", "date.today"}
+)
+
+
+def is_wall_clock_exempt(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in WALL_CLOCK_ALLOWLIST
+    )
+
+
+@register
+class SimClockRule(Rule):
+    rule_id = "CLOCK001"
+    summary = (
+        "no wall-clock reads or real sleeps outside repro.telemetry; "
+        "use the SimClock"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if is_wall_clock_exempt(ctx.module):
+            return
+        module_aliases = self._module_aliases(ctx.tree)
+        class_aliases = self._datetime_class_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                yield from self._check_import_from(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, module_aliases, class_aliases)
+
+    def _module_aliases(self, tree: ast.Module) -> Dict[str, str]:
+        """Names bound to the time/datetime modules: alias -> module."""
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in ("time", "datetime"):
+                        aliases[alias.asname or alias.name] = alias.name
+        return aliases
+
+    def _datetime_class_aliases(self, tree: ast.Module) -> Dict[str, str]:
+        """Names bound to the datetime/date classes: alias -> class."""
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.level == 0
+                and node.module == "datetime"
+            ):
+                for alias in node.names:
+                    if alias.name in ("datetime", "date"):
+                        aliases[alias.asname or alias.name] = alias.name
+        return aliases
+
+    def _check_import_from(
+        self, ctx: FileContext, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if node.module != "time":
+            return
+        for alias in node.names:
+            if alias.name == "*" or alias.name in FORBIDDEN_TIME_FUNCTIONS:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"imports wall-clock function 'time.{alias.name}'; "
+                    "sim/attack code must use the SimClock "
+                    "(repro.osn.clock)",
+                )
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        module_aliases: Dict[str, str],
+        class_aliases: Dict[str, str],
+    ) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name is None or "." not in name:
+            return
+        head, rest = name.split(".", 1)
+        module = module_aliases.get(head)
+        if module == "time" and rest in FORBIDDEN_TIME_FUNCTIONS:
+            hint = (
+                "advance the SimClock with clock.sleep(...)"
+                if rest == "sleep"
+                else "read the SimClock (repro.osn.clock) instead"
+            )
+            yield ctx.finding(
+                node,
+                self.rule_id,
+                f"wall-clock call 'time.{rest}' outside telemetry; {hint}",
+            )
+        elif module == "datetime" and rest in FORBIDDEN_DATETIME_CALLS:
+            yield ctx.finding(
+                node,
+                self.rule_id,
+                f"wall-clock call 'datetime.{rest}' outside telemetry; "
+                "the simulation date lives on the SimClock",
+            )
+        elif head in class_aliases:
+            qualified = f"{class_aliases[head]}.{rest}"
+            if qualified in FORBIDDEN_DATETIME_CALLS:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"wall-clock call '{qualified}' outside telemetry; "
+                    "the simulation date lives on the SimClock",
+                )

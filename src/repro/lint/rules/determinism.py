@@ -1,0 +1,178 @@
+"""DET001 — all randomness must flow through a seeded generator.
+
+Reproducibility (same seed → same world → same attack numbers) is a
+load-bearing property of this repo.  Module-level ``random.*`` calls
+draw from the interpreter-global Mersenne Twister, whose state any
+import can perturb; ``random.Random()`` / ``numpy.random.default_rng()``
+without a seed start from OS entropy.  Either silently breaks replay.
+
+Flagged:
+
+* calls through the global generator (``random.choice(...)`` etc.),
+* importing those functions directly (``from random import choice``),
+* unseeded constructors: ``random.Random()``, ``random.SystemRandom``,
+  ``numpy.random.default_rng()`` / ``RandomState()`` with no arguments,
+* legacy global numpy randomness (``np.random.seed``, ``np.random.rand``).
+
+Allowed: ``random.Random(seed)``, passing a ``random.Random`` around,
+``np.random.default_rng(seed)`` and methods on generator *instances*.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from ..findings import Finding
+from .base import FileContext, Rule, register
+
+#: Functions on the module-global generator (and their direct imports).
+GLOBAL_RNG_FUNCTIONS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: numpy.random names that are fine (explicitly seeded constructions).
+NUMPY_SEEDED_OK = frozenset({"Generator", "SeedSequence", "BitGenerator", "PCG64"})
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a pure attribute chain over a Name, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def module_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Names bound to modules we care about: alias -> dotted module."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in ("random", "numpy", "numpy.random"):
+                    aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases[alias.asname or "random"] = "numpy.random"
+    return aliases
+
+
+@register
+class SeededRandomnessRule(Rule):
+    rule_id = "DET001"
+    summary = (
+        "no module-global randomness; use an explicitly seeded "
+        "random.Random / numpy default_rng instance"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = module_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                yield from self._check_import_from(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, aliases)
+
+    def _check_import_from(
+        self, ctx: FileContext, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if node.module not in ("random", "numpy.random"):
+            return
+        for alias in node.names:
+            if alias.name == "*" or alias.name in GLOBAL_RNG_FUNCTIONS:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"imports global-RNG function "
+                    f"'{node.module}.{alias.name}'; thread a seeded "
+                    "random.Random through instead",
+                )
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, aliases: Dict[str, str]
+    ) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name is None or "." not in name:
+            return
+        head, rest = name.split(".", 1)
+        module = aliases.get(head)
+        if module == "random":
+            yield from self._check_stdlib(ctx, node, rest)
+        elif module == "numpy" and rest.startswith("random."):
+            yield from self._check_numpy(ctx, node, rest[len("random."):])
+        elif module == "numpy.random":
+            yield from self._check_numpy(ctx, node, rest)
+
+    def _check_stdlib(
+        self, ctx: FileContext, node: ast.Call, fn: str
+    ) -> Iterator[Finding]:
+        if fn in GLOBAL_RNG_FUNCTIONS:
+            yield ctx.finding(
+                node,
+                self.rule_id,
+                f"calls the module-global generator 'random.{fn}'; "
+                "use a seeded random.Random instance",
+            )
+        elif fn == "SystemRandom":
+            yield ctx.finding(
+                node,
+                self.rule_id,
+                "random.SystemRandom is OS entropy and can never replay; "
+                "use a seeded random.Random",
+            )
+        elif fn == "Random" and not node.args:
+            yield ctx.finding(
+                node,
+                self.rule_id,
+                "random.Random() without a seed starts from OS entropy; "
+                "pass an explicit seed",
+            )
+
+    def _check_numpy(
+        self, ctx: FileContext, node: ast.Call, fn: str
+    ) -> Iterator[Finding]:
+        if fn in NUMPY_SEEDED_OK or "." in fn:
+            return
+        if fn in ("default_rng", "RandomState"):
+            if not node.args:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"numpy.random.{fn}() without a seed starts from OS "
+                    "entropy; pass an explicit seed",
+                )
+        else:
+            yield ctx.finding(
+                node,
+                self.rule_id,
+                f"calls legacy global numpy randomness 'numpy.random.{fn}'; "
+                "use numpy.random.default_rng(seed)",
+            )

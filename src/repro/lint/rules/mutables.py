@@ -1,0 +1,61 @@
+"""MUT001 — no mutable default arguments.
+
+A ``def f(xs=[])`` default is evaluated once and shared across calls;
+state then leaks between invocations (and, here, between supposedly
+independent simulation runs).  Use ``None`` and construct inside, or a
+``dataclasses.field(default_factory=...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import FileContext, Rule, register
+
+#: Call-expression constructors that produce fresh mutable containers.
+MUTABLE_CONSTRUCTORS = frozenset(
+    {"bytearray", "deque", "defaultdict", "dict", "list", "set"}
+)
+
+_MUTABLE_LITERALS = (
+    ast.Dict,
+    ast.DictComp,
+    ast.List,
+    ast.ListComp,
+    ast.Set,
+    ast.SetComp,
+)
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "MUT001"
+    summary = "no mutable default arguments (shared across calls)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            name = getattr(node, "name", "<lambda>")
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield ctx.finding(
+                        default,
+                        self.rule_id,
+                        f"mutable default argument in '{name}'; default to "
+                        "None and build the container inside the function",
+                    )

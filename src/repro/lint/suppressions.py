@@ -1,0 +1,95 @@
+"""Inline suppression directives.
+
+A finding can be silenced on its own line with::
+
+    risky_call()  # repro-lint: allow(ORACLE001) -- evaluation-only scoring helper
+
+The justification after ``--`` is mandatory: the directive exists to
+force a human to write down *why* the boundary may be crossed here, so
+an empty justification is itself a finding (``LINT001``) and the
+suppression is ignored.  Several rules may be listed, comma-separated.
+
+Directives are recognised only in real comment tokens (via
+:mod:`tokenize`), never inside string literals.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .findings import Finding
+
+#: Rule id for malformed / unjustified suppression directives.
+DIRECTIVE_RULE = "LINT001"
+
+_DIRECTIVE_RE = re.compile(r"#\s*repro-lint:\s*(?P<body>.*)$")
+_ALLOW_RE = re.compile(
+    r"^allow\(\s*(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)\s*\)"
+    r"(?:\s*--\s*(?P<why>.*))?$"
+)
+
+
+@dataclass
+class SuppressionTable:
+    """Per-line suppressions plus the findings the parse itself produced."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        # Directive problems are never self-suppressible.
+        if rule == DIRECTIVE_RULE:
+            return False
+        return rule in self.by_line.get(line, ())
+
+
+def parse_suppressions(source: str, path: str) -> SuppressionTable:
+    """Extract every ``# repro-lint:`` directive from ``source``.
+
+    Assumes the source already parsed as Python (the engine only calls
+    this after a successful ``ast.parse``), so tokenization succeeds.
+    """
+    table = SuppressionTable()
+    for token in tokenize.generate_tokens(io.StringIO(source).readline):
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE_RE.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        rules, problem = _parse_body(match.group("body").strip())
+        if problem is not None:
+            table.findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=token.start[1],
+                    rule=DIRECTIVE_RULE,
+                    message=problem,
+                )
+            )
+            continue
+        table.by_line.setdefault(line, set()).update(rules)
+    return table
+
+
+def _parse_body(body: str) -> Tuple[Set[str], "str | None"]:
+    """Return (rule ids, problem message); exactly one side is meaningful."""
+    match = _ALLOW_RE.match(body)
+    if match is None:
+        return set(), (
+            "malformed repro-lint directive; expected "
+            "'# repro-lint: allow(RULE[, RULE]) -- justification'"
+        )
+    why = match.group("why")
+    if why is None or not why.strip():
+        return set(), (
+            "suppression is missing its justification; write "
+            "'allow(RULE) -- <why this boundary crossing is sound>'"
+        )
+    rules = {part.strip() for part in match.group("rules").split(",")}
+    return rules, None

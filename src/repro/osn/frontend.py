@@ -48,6 +48,8 @@ from .ratelimit import RateLimitConfig, RateLimiter
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.telemetry.runtime import Telemetry
 
+    from .clock import SimClock
+
 _PROFILE_RE = re.compile(r"^/profile/(\d+)$")
 _FRIENDS_RE = re.compile(r"^/profile/(\d+)/friends$")
 _SCHOOL_RE = re.compile(r"^/school/(\d+)$")
@@ -79,6 +81,16 @@ class HtmlFrontend:
         self.telemetry = telemetry
         if telemetry is not None:
             self._init_metrics(telemetry)
+
+    @property
+    def clock(self) -> "SimClock":
+        """The simulated clock, exposed for crawler pacing.
+
+        This is the one simulator internal crawlers may read directly:
+        a real attacker always knows what time it is.  Everything else
+        behind this frontend stays reachable only as rendered HTML.
+        """
+        return self.network.clock
 
     def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
         """Attach (or detach) observability; also covers the rate limiter."""

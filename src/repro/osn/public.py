@@ -1,0 +1,26 @@
+"""The attacker-visible OSN vocabulary — safe for crawler/core to import.
+
+Everything re-exported here is information the OSN's stranger-facing
+interface serves in rendered pages: directory rows from people search,
+school listings, and the enum/value types those pages are parsed into.
+The lint rule ``ORACLE001`` confines ``repro.crawler`` and
+``repro.core`` to this module (plus ``frontend``, ``pages``, ``view``,
+``errors`` and ``clock``); the simulator's stateful internals
+(``network``, ``profile.Profile``, ``privacy``, ``user``) stay off
+limits.
+
+Keep this surface minimal: adding a name here widens what every
+attacker-side module may see, so each addition should be something a
+real stranger-level crawler could have parsed off a page.
+"""
+
+from .network import DirectoryEntry, School
+from .profile import Gender, Name, SchoolAffiliation
+
+__all__ = [
+    "DirectoryEntry",
+    "Gender",
+    "Name",
+    "School",
+    "SchoolAffiliation",
+]

@@ -1,0 +1,199 @@
+"""Engine plumbing: suppressions, baseline round-trip, reporters, CLI."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.cli import main
+from repro.lint import (
+    Baseline,
+    DIRECTIVE_RULE,
+    PARSE_ERROR_RULE,
+    lint_paths,
+    lint_source,
+    module_name_for,
+    render_json,
+    render_text,
+)
+
+VIOLATION = "from repro.worldgen.world import World\n"
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return str(path)
+
+
+def _write_attacker(tmp_path, source):
+    """A fixture file whose derived module is 'repro.core.fake_core'."""
+    package = tmp_path / "repro" / "core"
+    package.mkdir(parents=True, exist_ok=True)
+    return _write(package, "fake_core.py", source)
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+class TestSuppressions:
+    def test_justified_suppression_silences_finding(self):
+        findings = lint_source(
+            "from repro.worldgen.world import World  "
+            "# repro-lint: allow(ORACLE001) -- test fixture crossing on purpose\n",
+            module="repro.core.fake",
+        )
+        assert findings == []
+
+    def test_suppression_is_rule_specific(self):
+        findings = lint_source(
+            "from repro.worldgen.world import World  "
+            "# repro-lint: allow(DET001) -- wrong rule id\n",
+            module="repro.core.fake",
+        )
+        assert [f.rule for f in findings] == ["ORACLE001"]
+
+    def test_empty_justification_is_a_finding_and_ignored(self):
+        findings = lint_source(
+            "from repro.worldgen.world import World  "
+            "# repro-lint: allow(ORACLE001)\n",
+            module="repro.core.fake",
+        )
+        rules = sorted(f.rule for f in findings)
+        assert rules == [DIRECTIVE_RULE, "ORACLE001"]
+
+    def test_whitespace_justification_is_rejected(self):
+        findings = lint_source(
+            "from repro.worldgen.world import World  "
+            "# repro-lint: allow(ORACLE001) --   \n",
+            module="repro.core.fake",
+        )
+        assert DIRECTIVE_RULE in [f.rule for f in findings]
+
+    def test_malformed_directive_is_a_finding(self):
+        findings = lint_source(
+            "x = 1  # repro-lint: allowing(ORACLE001) -- typo\n",
+            module="repro.core.fake",
+        )
+        assert [f.rule for f in findings] == [DIRECTIVE_RULE]
+
+    def test_multiple_rules_in_one_directive(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import time
+                from repro.worldgen.world import World  # repro-lint: allow(ORACLE001, CLOCK001) -- fixture
+
+                def now():
+                    return time.time()
+                """
+            ),
+            module="repro.core.fake",
+        )
+        assert [f.rule for f in findings] == ["CLOCK001"]
+
+    def test_directive_inside_string_is_not_a_directive(self):
+        findings = lint_source(
+            's = "# repro-lint: allow(ORACLE001)"\n',
+            module="repro.core.fake",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+class TestBaseline:
+    def test_round_trip_filters_grandfathered_findings(self, tmp_path):
+        source_path = _write_attacker(tmp_path, VIOLATION)
+        report = lint_paths([source_path])
+        assert not report.ok
+
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings(report.findings).save(str(baseline_path))
+        reloaded = Baseline.load(str(baseline_path))
+
+        filtered = lint_paths([source_path], baseline=reloaded)
+        assert filtered.ok
+        assert filtered.baselined == len(report.findings)
+
+    def test_new_instances_of_baselined_finding_still_fail(self, tmp_path):
+        source_path = _write_attacker(tmp_path, VIOLATION)
+        baseline = Baseline.from_findings(lint_paths([source_path]).findings)
+        # The same import appears twice now: one slot is grandfathered,
+        # the duplicate must surface as new.
+        _write_attacker(tmp_path, VIOLATION + VIOLATION)
+        report = lint_paths([source_path], baseline=baseline)
+        assert len(report.findings) == 1
+        assert report.baselined == 1
+
+    def test_baseline_rejects_foreign_documents(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"version": 99, "findings": []}))
+        try:
+            Baseline.load(str(bogus))
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError for unknown version")
+
+
+# ----------------------------------------------------------------------
+# Engine details
+# ----------------------------------------------------------------------
+
+class TestEngine:
+    def test_module_name_derivation(self):
+        assert module_name_for("src/repro/core/api.py") == "repro.core.api"
+        assert module_name_for("src/repro/osn/__init__.py") == "repro.osn"
+        assert module_name_for("elsewhere/script.py") == "script"
+
+    def test_unparsable_file_reports_instead_of_crashing(self, tmp_path):
+        source_path = _write(tmp_path, "broken.py", "def f(:\n")
+        report = lint_paths([source_path])
+        assert [f.rule for f in report.findings] == [PARSE_ERROR_RULE]
+
+    def test_reporters_render_summary(self, tmp_path):
+        source_path = _write_attacker(tmp_path, VIOLATION)
+        report = lint_paths([source_path])
+        text = render_text(report)
+        assert "ORACLE001" in text and "1 finding" in text
+        document = json.loads(render_json(report))
+        assert document["summary"]["ok"] is False
+        assert document["findings"][0]["rule"] == "ORACLE001"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def test_lint_subcommand_clean_exit(self, tmp_path, capsys):
+        source_path = _write(tmp_path, "clean.py", "x = 1\n")
+        assert main(["lint", source_path]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_lint_subcommand_failure_exit(self, tmp_path, capsys):
+        source_path = _write(tmp_path, "whatever.py", "def f(xs=[]):\n    return xs\n")
+        assert main(["lint", source_path]) == 1
+        assert "MUT001" in capsys.readouterr().out
+
+    def test_write_and_use_baseline(self, tmp_path, capsys):
+        source_path = _write(tmp_path, "fake.py", "def f(xs=[]):\n    return xs\n")
+        baseline_path = str(tmp_path / "baseline.json")
+        assert main(["lint", source_path, "--baseline", baseline_path, "--write-baseline"]) == 0
+        assert main(["lint", source_path, "--baseline", baseline_path]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_select_unknown_rule_is_usage_error(self, tmp_path):
+        source_path = _write(tmp_path, "clean.py", "x = 1\n")
+        assert main(["lint", source_path, "--select", "NOPE999"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("ORACLE001", "ORACLE002", "DET001", "CLOCK001", "MUT001"):
+            assert rule_id in out

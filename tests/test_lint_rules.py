@@ -1,0 +1,291 @@
+"""Every shipped lint rule: one violating and one clean fixture each."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def _lint(source: str, module: str = "repro.core.fake"):
+    return lint_source(textwrap.dedent(source), module=module, path="fake.py")
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# ORACLE001 — attacker-layer import boundary
+# ----------------------------------------------------------------------
+
+class TestOracle001:
+    def test_fires_on_worldgen_import(self):
+        findings = _lint("from repro.worldgen.world import World\n")
+        assert "ORACLE001" in _rules(findings)
+
+    def test_fires_on_plain_import_statement(self):
+        findings = _lint("import repro.worldgen.world\n")
+        assert "ORACLE001" in _rules(findings)
+
+    def test_fires_on_osn_internal(self):
+        findings = _lint("from repro.osn.network import SocialNetwork\n")
+        assert "ORACLE001" in _rules(findings)
+
+    def test_fires_on_from_repro_import_worldgen(self):
+        findings = _lint("from repro import worldgen\n")
+        assert "ORACLE001" in _rules(findings)
+
+    def test_fires_on_relative_parent_import(self):
+        findings = _lint("from ..worldgen import world\n")
+        assert "ORACLE001" in _rules(findings)
+
+    def test_clean_on_attacker_visible_surface(self):
+        findings = _lint(
+            """
+            from repro.osn.frontend import HtmlFrontend
+            from repro.osn.pages import parse_profile_page
+            from repro.osn.public import DirectoryEntry, School
+            from repro.osn.view import ProfileView
+            from repro.osn.errors import NotFoundError
+            from repro.osn.clock import SimClock
+            """
+        )
+        assert findings == []
+
+    def test_clean_under_type_checking(self):
+        findings = _lint(
+            """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.worldgen.world import World
+            """
+        )
+        assert findings == []
+
+    def test_clean_outside_attacker_layers(self):
+        findings = _lint(
+            "from repro.worldgen.world import World\n",
+            module="repro.analysis.report",
+        )
+        assert findings == []
+
+    def test_clean_in_evaluation_seam(self):
+        findings = _lint(
+            "from repro.worldgen.world import World\n",
+            module="repro.core.evaluation",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# ORACLE002 — ground-truth attribute access
+# ----------------------------------------------------------------------
+
+class TestOracle002:
+    def test_fires_on_ground_truth_read(self):
+        findings = _lint(
+            """
+            def peek(world):
+                return world.ground_truth().all_student_uids
+            """
+        )
+        assert _rules(findings).count("ORACLE002") == 2
+
+    def test_fires_on_frontend_network_reach_through(self):
+        findings = _lint(
+            """
+            def cheat(frontend):
+                return frontend.network
+            """,
+            module="repro.crawler.fake",
+        )
+        assert "ORACLE002" in _rules(findings)
+
+    def test_clean_on_visible_attributes(self):
+        findings = _lint(
+            """
+            def ok(view, frontend):
+                return view.birthday_year, frontend.clock.now_year
+            """
+        )
+        assert findings == []
+
+    def test_clean_in_evaluation_seam(self):
+        findings = _lint(
+            """
+            def score(world):
+                return world.ground_truth()
+            """,
+            module="repro.core.oracle",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DET001 — seeded randomness only
+# ----------------------------------------------------------------------
+
+class TestDet001:
+    def test_fires_on_global_generator(self):
+        findings = _lint(
+            """
+            import random
+
+            def roll():
+                return random.randint(1, 6)
+            """,
+            module="repro.worldgen.fake",
+        )
+        assert "DET001" in _rules(findings)
+
+    def test_fires_on_direct_function_import(self):
+        findings = _lint("from random import choice\n", module="repro.worldgen.fake")
+        assert "DET001" in _rules(findings)
+
+    def test_fires_on_unseeded_random_instance(self):
+        findings = _lint(
+            """
+            import random
+
+            def make():
+                return random.Random()
+            """,
+            module="repro.worldgen.fake",
+        )
+        assert "DET001" in _rules(findings)
+
+    def test_fires_on_unseeded_numpy_rng(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def make():
+                return np.random.default_rng()
+            """,
+            module="repro.worldgen.fake",
+        )
+        assert "DET001" in _rules(findings)
+
+    def test_fires_on_legacy_numpy_global(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def roll():
+                return np.random.rand(3)
+            """,
+            module="repro.worldgen.fake",
+        )
+        assert "DET001" in _rules(findings)
+
+    def test_clean_on_seeded_generators(self):
+        findings = _lint(
+            """
+            import random
+
+            import numpy as np
+
+
+            def make(seed):
+                rng = random.Random(seed)
+                np_rng = np.random.default_rng(rng.getrandbits(64))
+                return rng.choice([1, 2]), np_rng.integers(10)
+            """,
+            module="repro.worldgen.fake",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# CLOCK001 — sim-clock discipline
+# ----------------------------------------------------------------------
+
+class TestClock001:
+    def test_fires_on_wall_clock_read(self):
+        findings = _lint(
+            """
+            import time
+
+            def now():
+                return time.time()
+            """,
+            module="repro.osn.fake",
+        )
+        assert "CLOCK001" in _rules(findings)
+
+    def test_fires_on_datetime_now(self):
+        findings = _lint(
+            """
+            from datetime import datetime
+
+            def today():
+                return datetime.now().year
+            """,
+            module="repro.core.fake",
+        )
+        assert "CLOCK001" in _rules(findings)
+
+    def test_fires_on_real_sleep(self):
+        findings = _lint(
+            """
+            import time
+
+            def wait():
+                time.sleep(1.0)
+            """,
+            module="repro.crawler.fake",
+        )
+        assert "CLOCK001" in _rules(findings)
+
+    def test_telemetry_is_exempt(self):
+        findings = _lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            module="repro.telemetry.fake",
+        )
+        assert findings == []
+
+    def test_duration_timers_are_clean(self):
+        findings = _lint(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+            module="repro.osn.fake",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# MUT001 — mutable default arguments
+# ----------------------------------------------------------------------
+
+class TestMut001:
+    def test_fires_on_list_literal_default(self):
+        findings = _lint("def f(xs=[]):\n    return xs\n", module="repro.osn.fake")
+        assert "MUT001" in _rules(findings)
+
+    def test_fires_on_dict_constructor_default(self):
+        findings = _lint(
+            "def f(*, mapping=dict()):\n    return mapping\n",
+            module="repro.osn.fake",
+        )
+        assert "MUT001" in _rules(findings)
+
+    def test_clean_on_none_default(self):
+        findings = _lint(
+            """
+            def f(xs=None, label="x", count=0, pair=(1, 2)):
+                return list(xs or [])
+            """,
+            module="repro.osn.fake",
+        )
+        assert findings == []

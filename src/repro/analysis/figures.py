@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.coppaless import CoveragePoint
+from repro.core.evaluation import CoveragePoint
 from repro.core.countermeasures import CountermeasureReport
 from repro.core.evaluation import FullEvaluation, PartialEvaluation
 

@@ -33,14 +33,15 @@ from repro.analysis.figures import (
 )
 from repro.analysis.tables import ascii_table, render_policy_table
 from repro.core.api import make_client, run_attack
-from repro.core.coppaless import (
-    natural_approach_points,
-    run_natural_approach,
-    with_coppa_minimal_points,
-)
+from repro.core.coppaless import run_natural_approach
 from repro.analysis.robustness import run_across_seeds
 from repro.core.countermeasures import run_countermeasure_comparison, run_countermeasure_suite
-from repro.core.evaluation import evaluate_full, sweep_full
+from repro.core.evaluation import (
+    evaluate_full,
+    natural_approach_points,
+    sweep_full,
+    with_coppa_minimal_points,
+)
 from repro.core.profiler import ProfilerConfig
 from repro.lint.cli import add_lint_arguments, run_lint
 from repro.osn.policy import policy_by_name
@@ -111,7 +112,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
             except OSError as exc:
                 print(f"error: cannot write {sink_path!r}: {exc}", file=sys.stderr)
                 return 2
-        telemetry = Telemetry.to_jsonl(world.network.clock, args.telemetry)
+        telemetry = Telemetry.to_jsonl(world.clock, args.telemetry)
         if args.prometheus:
             telemetry.add_prometheus(args.prometheus)
     result = run_attack(
@@ -193,7 +194,7 @@ def cmd_tables(args: argparse.Namespace) -> int:
 def cmd_coppaless(args: argparse.Namespace) -> int:
     world = _build_world_from(args)
     minimal_truth = world.minimal_profile_students()
-    current = world.network.clock.current_year
+    current = world.current_year
     attack = run_attack(
         world,
         accounts=args.accounts,

@@ -8,13 +8,7 @@ evaluation matching the paper's Sections 4–8.
 """
 
 from .api import make_client, run_attack
-from .coppaless import (
-    CoveragePoint,
-    NaturalApproachResult,
-    natural_approach_points,
-    run_natural_approach,
-    with_coppa_minimal_points,
-)
+from .coppaless import NaturalApproachResult, run_natural_approach
 from .coreset import CoreSet, claimed_graduation_year, extract_claims
 from .countermeasures import (
     CountermeasurePoint,
@@ -24,13 +18,16 @@ from .countermeasures import (
     run_countermeasure_suite,
 )
 from .evaluation import (
+    CoveragePoint,
     FullEvaluation,
     PartialEvaluation,
     collect_test_users,
     evaluate_full,
     evaluate_partial,
+    natural_approach_points,
     sweep_full,
     sweep_partial,
+    with_coppa_minimal_points,
 )
 from .extension import (
     AdultRegisteredStats,

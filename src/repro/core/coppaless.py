@@ -22,14 +22,11 @@ We implement:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.crawler.client import CrawlClient
 from repro.crawler.effort import EffortReport
-from repro.osn.view import ProfileView
 
-from .coreset import extract_claims
-from .profiler import AttackResult
 from .scoring import reverse_lookup_index
 
 
@@ -116,75 +113,17 @@ def run_natural_approach(
 
 
 # ----------------------------------------------------------------------
-# Figure 3: apples-to-apples comparison on minimal-profile students
+# Figure 3 scoring moved behind the oracle seam
 # ----------------------------------------------------------------------
 
-@dataclass(frozen=True)
-class CoveragePoint:
-    """One point of a Figure-3 series."""
-
-    label: str
-    found: int
-    found_percent: float
-    false_positives: int
-
-
-def natural_approach_points(
-    result: NaturalApproachResult,
-    minimal_truth: Set[int],
-    ns: Sequence[int] = (1, 2, 3),
-) -> List[CoveragePoint]:
-    """Without-COPPA series: one point per core-friend threshold n."""
-    if not minimal_truth:
-        raise ValueError("minimal-profile ground truth is empty")
-    points = []
-    for n in ns:
-        selected = result.select(n)
-        found = len(selected & minimal_truth)
-        points.append(
-            CoveragePoint(
-                label=f"n={n}",
-                found=found,
-                found_percent=100.0 * found / len(minimal_truth),
-                false_positives=len(selected) - found,
-            )
-        )
-    return points
-
-
-def with_coppa_minimal_points(
-    result: AttackResult,
-    minimal_truth: Set[int],
-    thresholds: Sequence[int] = (300, 400, 500),
-) -> List[CoveragePoint]:
-    """With-COPPA series (Section 7.2): minimal-profile users in the top-t.
-
-    M_t is the set of top-t users (plus C′) whose crawled profile is
-    minimal; z_t of them are true minimal-profile students.  Requires an
-    attack run whose profile-fetch budget covered the largest t (the
-    enhanced methodology with ε = 1 does for t up to the nominal
-    threshold).
-    """
-    if not minimal_truth:
-        raise ValueError("minimal-profile ground truth is empty")
-    points = []
-    for t in thresholds:
-        selection = result.select(t)
-        m_t = {
-            uid
-            for uid in selection
-            if (view := result.profiles.get(uid)) is not None and view.is_minimal()
-        }
-        found = len(m_t & minimal_truth)
-        points.append(
-            CoveragePoint(
-                label=f"t={t}",
-                found=found,
-                found_percent=100.0 * found / len(minimal_truth),
-                false_positives=len(m_t) - found,
-            )
-        )
-    return points
+# The series builders compare attack output against minimal-profile
+# ground truth, which is an *evaluator* activity: they now live in
+# repro.core.evaluation.  Re-exported here for compatibility.
+from .evaluation import (  # noqa: E402,F401
+    CoveragePoint,
+    natural_approach_points,
+    with_coppa_minimal_points,
+)
 
 
 @dataclass(frozen=True)

@@ -9,12 +9,17 @@ Two evaluation regimes, matching the paper:
   yields test users; the fraction of test users recovered in the top-t
   estimates coverage and false positives through the Section-5.5
   estimator.
+
+It also holds the Figure-3 series builders
+(:func:`with_coppa_minimal_points` / :func:`natural_approach_points`):
+they compare attack output against the minimal-profile ground truth, so
+they belong on this side of the oracle seam, not in the attack code.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.crawler.client import CrawlClient
 from repro.osn.clock import school_class_year
@@ -22,6 +27,9 @@ from repro.worldgen.world import SchoolGroundTruth
 
 from .coreset import extract_claims
 from .profiler import AttackResult
+
+if TYPE_CHECKING:  # runtime import would cycle: coppaless re-exports us
+    from .coppaless import NaturalApproachResult
 
 
 # ----------------------------------------------------------------------
@@ -199,3 +207,75 @@ def sweep_partial(
     return [
         evaluate_partial(result, test_users, school_size, t) for t in thresholds
     ]
+
+
+# ----------------------------------------------------------------------
+# Figure 3: apples-to-apples comparison on minimal-profile students
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CoveragePoint:
+    """One point of a Figure-3 series."""
+
+    label: str
+    found: int
+    found_percent: float
+    false_positives: int
+
+
+def natural_approach_points(
+    result: "NaturalApproachResult",
+    minimal_truth: Set[int],
+    ns: Sequence[int] = (1, 2, 3),
+) -> List[CoveragePoint]:
+    """Without-COPPA series: one point per core-friend threshold n."""
+    if not minimal_truth:
+        raise ValueError("minimal-profile ground truth is empty")
+    points = []
+    for n in ns:
+        selected = result.select(n)
+        found = len(selected & minimal_truth)
+        points.append(
+            CoveragePoint(
+                label=f"n={n}",
+                found=found,
+                found_percent=100.0 * found / len(minimal_truth),
+                false_positives=len(selected) - found,
+            )
+        )
+    return points
+
+
+def with_coppa_minimal_points(
+    result: AttackResult,
+    minimal_truth: Set[int],
+    thresholds: Sequence[int] = (300, 400, 500),
+) -> List[CoveragePoint]:
+    """With-COPPA series (Section 7.2): minimal-profile users in the top-t.
+
+    M_t is the set of top-t users (plus C′) whose crawled profile is
+    minimal; z_t of them are true minimal-profile students.  Requires an
+    attack run whose profile-fetch budget covered the largest t (the
+    enhanced methodology with ε = 1 does for t up to the nominal
+    threshold).
+    """
+    if not minimal_truth:
+        raise ValueError("minimal-profile ground truth is empty")
+    points = []
+    for t in thresholds:
+        selection = result.select(t)
+        m_t = {
+            uid
+            for uid in selection
+            if (view := result.profiles.get(uid)) is not None and view.is_minimal()
+        }
+        found = len(m_t & minimal_truth)
+        points.append(
+            CoveragePoint(
+                label=f"t={t}",
+                found=found,
+                found_percent=100.0 * found / len(minimal_truth),
+                false_positives=len(m_t) - found,
+            )
+        )
+    return points

@@ -1,21 +1,25 @@
 """Static analysis enforcing this repo's three non-negotiables.
 
-1. **The oracle boundary** (ORACLE001/ORACLE002): attacker code — the
-   crawler and the profiling pipeline — may only learn what the OSN's
-   stranger-facing interface exposes, never the simulator's ground
-   truth.  The paper's result is vacuous without this.
+1. **The oracle boundary** (ORACLE001/ORACLE002 per file;
+   FLOW001/FLOW002 whole-program): attacker code — the crawler and the
+   profiling pipeline — may only learn what the OSN's stranger-facing
+   interface exposes, never the simulator's ground truth.  The paper's
+   result is vacuous without this.
 2. **Determinism** (DET001): all randomness flows through explicitly
    seeded generators, so every experiment replays bit-for-bit.
 3. **Sim-clock discipline** (CLOCK001): simulation and attack code tell
    time with the :class:`~repro.osn.clock.SimClock`; only telemetry may
    touch the wall clock.
 
-Plus general hygiene (MUT001, mutable default arguments).  Run with
+Plus general hygiene (MUT001 mutable default arguments, DEAD001
+unreferenced module-level definitions).  Run with
 ``python -m repro lint``; silence individual findings with
-``# repro-lint: allow(RULE) -- justification``.
+``# repro-lint: allow(RULE) -- justification`` (per-file rules only —
+whole-program findings have no single owning line, use the baseline).
 """
 
 from .baseline import Baseline
+from .cache import DEFAULT_CACHE_PATH, LintCache, rule_signature
 from .engine import (
     LintReport,
     PARSE_ERROR_RULE,
@@ -27,12 +31,15 @@ from .engine import (
 from .findings import Finding
 from .reporting import render_json, render_text
 from .rules import Rule, all_rules, register, rule_ids
+from .sarif import render_sarif
 from .suppressions import DIRECTIVE_RULE, parse_suppressions
 
 __all__ = [
     "Baseline",
+    "DEFAULT_CACHE_PATH",
     "DIRECTIVE_RULE",
     "Finding",
+    "LintCache",
     "LintReport",
     "PARSE_ERROR_RULE",
     "Rule",
@@ -44,6 +51,8 @@ __all__ = [
     "parse_suppressions",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_ids",
+    "rule_signature",
 ]

@@ -1,0 +1,157 @@
+"""The on-disk lint cache: skip everything about an unchanged file.
+
+One JSON document (``.repro-lint-cache.json`` by default) maps each
+file's ``os.path.realpath`` to its content hash, per-file findings,
+suppression count and the :class:`~repro.lint.flow.summary.ModuleSummary`
+the whole-program phase needs.  A warm run therefore re-parses nothing:
+per-file findings come straight from the cache and the project index is
+rebuilt from cached summaries.
+
+Invalidation is by construction, not by mtime: an entry is used only
+when the file's SHA-256 matches, and the whole cache is discarded when
+the *rule signature* changes — the engine version, the summary-format
+version, or the set of selected rule ids (different rules produce
+different findings).  Delete the file to force a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from .findings import Finding
+from .flow.summary import SUMMARY_VERSION, ModuleSummary
+
+#: Bump when the cache document shape changes.
+CACHE_VERSION = 1
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def rule_signature(rule_ids: Sequence[str]) -> str:
+    """Identity of an engine configuration, for cache invalidation."""
+    from .engine import ENGINE_VERSION  # local import: engine imports us
+
+    ids = ",".join(sorted(set(rule_ids)))
+    return f"engine={ENGINE_VERSION};summary={SUMMARY_VERSION};rules={ids}"
+
+
+@dataclass
+class CacheEntry:
+    """Everything the engine would recompute for one unchanged file."""
+
+    sha256: str
+    path: str
+    findings: List[Finding]
+    suppressed: int
+    summary: Optional[ModuleSummary]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "sha256": self.sha256,
+            "path": self.path,
+            "findings": [
+                [f.path, f.line, f.col, f.rule, f.message] for f in self.findings
+            ],
+            "suppressed": self.suppressed,
+            "summary": None if self.summary is None else self.summary.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, raw: Dict[str, Any]) -> "CacheEntry":
+        summary_raw = raw.get("summary")
+        return cls(
+            sha256=str(raw["sha256"]),
+            path=str(raw["path"]),
+            findings=[
+                Finding(str(r[0]), int(r[1]), int(r[2]), str(r[3]), str(r[4]))
+                for r in raw["findings"]
+            ],
+            suppressed=int(raw["suppressed"]),
+            summary=(
+                None if summary_raw is None else ModuleSummary.from_json(summary_raw)
+            ),
+        )
+
+
+class LintCache:
+    """Content-hash keyed store of per-file lint results."""
+
+    def __init__(self, path: str, signature: str) -> None:
+        self.path = path
+        self.signature = signature
+        self._entries: Dict[str, CacheEntry] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return  # missing or corrupt: start cold
+        if not isinstance(document, dict):
+            return
+        if document.get("version") != CACHE_VERSION:
+            return
+        if document.get("signature") != self.signature:
+            return  # rules or engine changed: every entry is stale
+        files = document.get("files")
+        if not isinstance(files, dict):
+            return
+        for real_path, raw in files.items():
+            try:
+                self._entries[str(real_path)] = CacheEntry.from_json(raw)
+            except (KeyError, ValueError, TypeError, IndexError):
+                continue  # skip individually corrupt entries
+
+    def get(self, real_path: str, sha256: str) -> Optional[CacheEntry]:
+        entry = self._entries.get(real_path)
+        if entry is not None and entry.sha256 == sha256:
+            return entry
+        return None
+
+    def put(self, real_path: str, entry: CacheEntry) -> None:
+        self._entries[real_path] = entry
+        self._dirty = True
+
+    def save(self) -> None:
+        """Write atomically (write-to-temp + rename) if anything changed."""
+        if not self._dirty:
+            return
+        document = {
+            "version": CACHE_VERSION,
+            "signature": self.signature,
+            "files": {
+                real: entry.to_json() for real, entry in sorted(self._entries.items())
+            },
+        }
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=directory,
+            prefix=os.path.basename(self.path) + ".",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(document, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(handle.name, self.path)
+        except OSError:
+            try:  # best effort: a broken cache write must not fail the lint
+                os.unlink(handle.name)
+            except OSError:
+                pass
+        self._dirty = False

@@ -1,31 +1,45 @@
 """``python -m repro lint`` — the checker's command-line face.
 
-Exit codes: 0 clean (or baseline written), 1 new findings, 2 usage or
-baseline-file errors.
+Exit codes: 0 clean (or baseline written), 1 new policy findings,
+2 infrastructure failures — usage errors, unreadable baselines, or
+files that could not be read/parsed (LINT002).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .baseline import Baseline
+from .cache import DEFAULT_CACHE_PATH, LintCache, rule_signature
 from .engine import lint_paths
 from .reporting import render_json, render_text
 from .rules import all_rules, rule_ids
+from .sarif import render_sarif
+
+#: Linted when no paths are given; members that don't exist are skipped.
+DEFAULT_TARGETS = ("src/repro", "tests", "benchmarks", "examples")
+
+
+def default_paths() -> List[str]:
+    return [path for path in DEFAULT_TARGETS if os.path.exists(path)]
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src/repro"],
-        help="files or directories to check (default: src/repro)",
+        default=None,
+        help=(
+            "files or directories to check "
+            f"(default: {' '.join(DEFAULT_TARGETS)}, where present)"
+        ),
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format",
     )
@@ -47,6 +61,24 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="processes for the per-file phase (default: 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=DEFAULT_CACHE_PATH,
+        help=f"on-disk result cache (default: {DEFAULT_CACHE_PATH})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk cache for this run",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -58,6 +90,10 @@ def run_lint(args: argparse.Namespace) -> int:
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.summary}")
         return 0
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     rules = all_rules()
     if args.select:
@@ -72,11 +108,18 @@ def run_lint(args: argparse.Namespace) -> int:
             return 2
         rules = [rule for rule in rules if rule.rule_id in wanted]
 
+    paths = args.paths if args.paths else default_paths()
+    cache = None
+    if not args.no_cache:
+        cache = LintCache(
+            args.cache, rule_signature([rule.rule_id for rule in rules])
+        )
+
     if args.write_baseline:
         if not args.baseline:
             print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
             return 2
-        report = lint_paths(args.paths, rules=rules)
+        report = lint_paths(paths, rules=rules, cache=cache, jobs=args.jobs)
         Baseline.from_findings(report.findings).save(args.baseline)
         print(f"wrote {len(report.findings)} finding(s) to {args.baseline}")
         return 0
@@ -92,16 +135,27 @@ def run_lint(args: argparse.Namespace) -> int:
             print(f"error: cannot load baseline {args.baseline!r}: {exc}", file=sys.stderr)
             return 2
 
-    report = lint_paths(args.paths, rules=rules, baseline=baseline)
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(report))
+    report = lint_paths(
+        paths, rules=rules, baseline=baseline, cache=cache, jobs=args.jobs
+    )
+    if args.format == "sarif":
+        print(render_sarif(report, rules))
+    elif args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    if report.infrastructure_errors:
+        return 2
     return 0 if report.ok else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="AST-based oracle-boundary, determinism and sim-clock checker.",
+        description=(
+            "AST-based oracle-boundary, determinism, sim-clock and "
+            "privacy-flow checker."
+        ),
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

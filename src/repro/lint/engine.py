@@ -1,25 +1,46 @@
-"""The per-file lint pipeline: parse once, run every rule, filter.
+"""The lint pipeline: per-file phase, whole-program phase, filtering.
 
 For each ``.py`` file the engine parses one AST, derives the dotted
-module name (rules scope themselves by it), runs the selected rules,
-then applies inline suppressions and the baseline.  Files that fail to
-parse produce a ``LINT002`` finding instead of crashing the run.
+module name (rules scope themselves by it), runs the selected per-file
+rules and extracts a :class:`~repro.lint.flow.summary.ModuleSummary`.
+Results are memoised in an optional content-hash keyed on-disk cache
+(:mod:`repro.lint.cache`), so a warm run re-parses nothing; cache
+misses can be fanned out over a multiprocessing pool (``jobs``) with
+output deterministically merged in input order.
+
+After the per-file phase, summaries are stitched into a
+:class:`~repro.lint.flow.index.ProjectIndex` and the whole-program
+rules (FLOW001/FLOW002/DEAD001) run over it.  Whole-program findings
+honour the baseline but not inline ``# repro-lint: allow`` directives
+(a cross-file flow has no single owning line; see DESIGN.md §7).
+
+Files that fail to parse produce a ``LINT002`` finding instead of
+crashing the run; the CLI reports those as infrastructure failures
+(exit 2), distinct from policy findings (exit 1).
 """
 
 from __future__ import annotations
 
 import ast
+import multiprocessing
 import os
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .baseline import Baseline
+from .cache import CacheEntry, LintCache, content_hash
 from .findings import Finding
+from .flow.index import ProjectIndex
+from .flow.rules import WholeProgramRule
+from .flow.summary import ModuleSummary, extract_summary
 from .rules import FileContext, Rule, all_rules
 from .suppressions import parse_suppressions
 
 #: Rule id for files the parser rejects.
 PARSE_ERROR_RULE = "LINT002"
+
+#: Bumped when engine behaviour changes in cache-visible ways.
+ENGINE_VERSION = 2
 
 
 @dataclass
@@ -30,10 +51,19 @@ class LintReport:
     suppressed: int = 0
     baselined: int = 0
     files_checked: int = 0
+    #: files whose results came from the on-disk cache
+    cache_hits: int = 0
+    #: files actually read + parsed this run (0 on a fully warm cache)
+    files_reparsed: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.findings
+
+    @property
+    def infrastructure_errors(self) -> int:
+        """Findings that signal tool failure, not policy violations."""
+        return sum(1 for f in self.findings if f.rule == PARSE_ERROR_RULE)
 
 
 def module_name_for(path: str) -> str:
@@ -54,8 +84,13 @@ def module_name_for(path: str) -> str:
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
-    """Every ``.py`` file under ``paths``, deterministically ordered."""
-    seen = set()
+    """Every ``.py`` file under ``paths``, deterministically ordered.
+
+    Deduplicates on ``os.path.realpath`` so overlapping arguments
+    (``src/repro src/repro/lint``) or symlinked directories never lint
+    the same file twice and double-count its findings.
+    """
+    seen: Set[str] = set()
     for path in paths:
         if os.path.isdir(path):
             for root, dirs, files in os.walk(path):
@@ -64,12 +99,27 @@ def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
                 for name in sorted(files):
                     if name.endswith(".py"):
                         candidate = os.path.join(root, name)
-                        if candidate not in seen:
-                            seen.add(candidate)
+                        real = os.path.realpath(candidate)
+                        if real not in seen:
+                            seen.add(real)
                             yield candidate
-        elif path not in seen:
-            seen.add(path)
-            yield path
+        else:
+            real = os.path.realpath(path)
+            if real not in seen:
+                seen.add(real)
+                yield path
+
+
+def split_rules(rules: Sequence[Rule]) -> Tuple[List[Rule], List[WholeProgramRule]]:
+    """Partition into (per-file rules, whole-program rules)."""
+    per_file: List[Rule] = []
+    project: List[WholeProgramRule] = []
+    for rule in rules:
+        if isinstance(rule, WholeProgramRule):
+            project.append(rule)
+        else:
+            per_file.append(rule)
+    return per_file, project
 
 
 def lint_source(
@@ -80,57 +130,157 @@ def lint_source(
 ) -> List[Finding]:
     """Lint one source string (the test fixtures' entry point).
 
+    Runs the per-file phase only: whole-program rules need a project.
     Returns the findings that survive inline suppressions, sorted by
     location; baseline filtering is the caller's concern.
     """
     active = list(rules) if rules is not None else all_rules()
-    findings, _ = _lint_one(source, module, path, active)
+    per_file, _project = split_rules(active)
+    findings, _suppressed, _summary = _analyze_one(source, module, path, per_file)
     return findings
+
+
+#: A unit of per-file work: (display path, module, is_package, source,
+#: per-file rule ids).  Everything is picklable so a multiprocessing
+#: pool can execute it in a worker process.
+_Task = Tuple[str, str, bool, str, Tuple[str, ...]]
+#: Its result: (display path, findings, suppressed, summary or None).
+_TaskResult = Tuple[str, List[Finding], int, Optional[ModuleSummary]]
+
+
+def _run_task(task: _Task) -> _TaskResult:
+    """Execute one per-file unit (top level: must pickle under spawn)."""
+    path, module, is_package, source, rule_id_selection = task
+    selected = [r for r in all_rules() if r.rule_id in rule_id_selection]
+    findings, suppressed, summary = _analyze_one(
+        source, module, path, selected, is_package=is_package
+    )
+    return path, findings, suppressed, summary
 
 
 def lint_paths(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Baseline] = None,
+    *,
+    cache: Optional[LintCache] = None,
+    jobs: int = 1,
 ) -> LintReport:
-    """Lint files/directories and fold in suppressions plus baseline."""
+    """Lint files/directories and fold in suppressions plus baseline.
+
+    ``cache`` memoises per-file results keyed on content hash; ``jobs``
+    fans cache misses out over a process pool.  Output is byte-identical
+    for any ``jobs`` value: results are merged in input order and sorted.
+    """
     active = list(rules) if rules is not None else all_rules()
+    per_file, project = split_rules(active)
+    per_file_ids = tuple(sorted(r.rule_id for r in per_file))
+
     report = LintReport()
-    collected: List[Finding] = []
+    ordered_paths: List[str] = []
+    results: Dict[str, _TaskResult] = {}
+    tasks: List[_Task] = []
+
     for file_path in iter_python_files(paths):
         report.files_checked += 1
+        ordered_paths.append(file_path)
         try:
-            with open(file_path, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        except OSError as exc:
-            collected.append(
-                Finding(file_path, 1, 0, PARSE_ERROR_RULE, f"cannot read file: {exc}")
+            with open(file_path, "rb") as handle:
+                data = handle.read()
+            source = data.decode("utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            results[file_path] = (
+                file_path,
+                [Finding(file_path, 1, 0, PARSE_ERROR_RULE, f"cannot read file: {exc}")],
+                0,
+                None,
             )
             continue
-        findings, suppressed = _lint_one(
-            source,
-            module_name_for(file_path),
-            file_path,
-            active,
-            is_package=os.path.basename(file_path) == "__init__.py",
+        real = os.path.realpath(file_path)
+        sha = content_hash(data)
+        if cache is not None:
+            entry = cache.get(real, sha)
+            if entry is not None:
+                report.cache_hits += 1
+                results[file_path] = _rehydrate(entry, file_path)
+                continue
+        report.files_reparsed += 1
+        tasks.append(
+            (
+                file_path,
+                module_name_for(file_path),
+                os.path.basename(file_path) == "__init__.py",
+                source,
+                per_file_ids,
+            )
         )
-        collected.extend(findings)
-        report.suppressed += suppressed
+
+    if jobs > 1 and len(tasks) > 1:
+        with multiprocessing.Pool(processes=jobs) as pool:
+            task_results = pool.map(_run_task, tasks)
+    else:
+        task_results = [_run_task(task) for task in tasks]
+
+    for task, outcome in zip(tasks, task_results):
+        results[task[0]] = outcome
+    if cache is not None:
+        for task, outcome in zip(tasks, task_results):
+            file_path, _module, _is_pkg, source, _ids = task
+            _path, findings_, suppressed_, summary_ = outcome
+            cache.put(
+                os.path.realpath(file_path),
+                CacheEntry(
+                    sha256=content_hash(source.encode("utf-8")),
+                    path=file_path,
+                    findings=findings_,
+                    suppressed=suppressed_,
+                    summary=summary_,
+                ),
+            )
+
+    collected: List[Finding] = []
+    summaries: List[ModuleSummary] = []
+    for file_path in ordered_paths:
+        _path, findings_, suppressed_, summary_ = results[file_path]
+        collected.extend(findings_)
+        report.suppressed += suppressed_
+        if summary_ is not None:
+            summaries.append(summary_)
+
+    if project and summaries:
+        index = ProjectIndex(summaries)
+        for rule in project:
+            collected.extend(rule.check_project(index))
+
     collected.sort()
     if baseline is not None:
         collected, report.baselined = baseline.partition(collected)
     report.findings = collected
+
+    if cache is not None:
+        cache.save()
     return report
 
 
-def _lint_one(
+def _rehydrate(entry: CacheEntry, file_path: str) -> _TaskResult:
+    """A cached entry, re-labelled with this invocation's path spelling."""
+    if entry.path == file_path:
+        return file_path, list(entry.findings), entry.suppressed, entry.summary
+    findings = [replace(f, path=file_path) for f in entry.findings]
+    summary = entry.summary
+    if summary is not None:
+        summary = replace(summary, path=file_path)
+    return file_path, findings, entry.suppressed, summary
+
+
+def _analyze_one(
     source: str,
     module: str,
     path: str,
     rules: Sequence[Rule],
     is_package: bool = False,
-) -> Tuple[List[Finding], int]:
-    """All post-suppression findings for one file, plus suppressed count."""
+) -> Tuple[List[Finding], int, Optional[ModuleSummary]]:
+    """Per-file phase for one file: findings, suppressed count, summary."""
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
@@ -145,6 +295,7 @@ def _lint_one(
                 )
             ],
             0,
+            None,
         )
     ctx = FileContext.build(path, module, source, tree, is_package=is_package)
     table = parse_suppressions(source, path)
@@ -159,4 +310,5 @@ def _lint_one(
         else:
             kept.append(finding)
     kept.sort()
-    return kept, suppressed
+    summary = extract_summary(tree, module, path, is_package=is_package)
+    return kept, suppressed, summary

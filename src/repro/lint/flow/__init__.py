@@ -1,0 +1,59 @@
+"""Whole-program privacy-flow analysis.
+
+The per-file rules in :mod:`repro.lint.rules` police one file at a
+time; they cannot see a ground-truth value laundered through a helper
+in a *different* module into attacker code.  This package closes that
+gap:
+
+* :mod:`~repro.lint.flow.summary` parses each module once into a
+  compact, JSON-serialisable :class:`ModuleSummary` (imports, function
+  bodies as assignment/return/call operations, attribute reads with
+  privacy-gate annotations).  Summaries are what the on-disk lint
+  cache stores, so a warm run rebuilds the whole-program view without
+  re-parsing a single unchanged file.
+* :mod:`~repro.lint.flow.index` stitches summaries into a
+  :class:`ProjectIndex`: module table, import graph and an approximate
+  call graph (name/attribute resolution over module and class
+  namespaces).
+* :mod:`~repro.lint.flow.taint` runs an inter-procedural taint
+  fixpoint over the index: seeds at ground-truth sources, propagates
+  through assignments, returns and call arguments, and sanitises at
+  the :class:`~repro.core.oracle.GroundTruthOracle` evaluation seam.
+* :mod:`~repro.lint.flow.rules` ships the whole-program rules
+  ``FLOW001`` (ground-truth taint reaches attacker code without the
+  oracle seam), ``FLOW002`` (privacy-gated profile field flows into a
+  crawler-visible return) and ``DEAD001`` (module-level defs nothing
+  references).
+"""
+
+from .index import ProjectIndex
+from .summary import (
+    SUMMARY_VERSION,
+    AttrRead,
+    CallInfo,
+    ExprInfo,
+    FunctionInfo,
+    ModuleSummary,
+    Op,
+    extract_summary,
+)
+from .taint import CallRecord, ReturnRecord, SeedRecord, TaintDomain, TaintEngine
+from . import rules as flow_rules  # noqa: F401  (rule registration)
+
+__all__ = [
+    "AttrRead",
+    "CallInfo",
+    "CallRecord",
+    "ExprInfo",
+    "FunctionInfo",
+    "ModuleSummary",
+    "Op",
+    "ProjectIndex",
+    "ReturnRecord",
+    "SUMMARY_VERSION",
+    "SeedRecord",
+    "TaintDomain",
+    "TaintEngine",
+    "extract_summary",
+    "flow_rules",
+]

@@ -1,0 +1,242 @@
+"""The whole-program view: module table, import graph, call resolution.
+
+A :class:`ProjectIndex` is built from :class:`ModuleSummary` objects
+(freshly extracted or loaded from the lint cache) and answers the two
+questions the taint engine and DEAD001 ask:
+
+* *what does this dotted reference resolve to?* — performed over module
+  and class namespaces: a bare name resolves through nested defs, the
+  module's own defs, then its import aliases (following re-export
+  chains); a dotted chain roots at an import alias or falls back to
+  method-name lookup across every indexed class.  The resolution is
+  deliberately approximate (no type inference); DESIGN.md §7 records
+  the approximations.
+* *who references this name?* — the union of every summary's
+  ``used_names``, which is what makes DEAD001 a whole-program rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .summary import FunctionInfo, ModuleSummary
+
+#: Give up on method-name fallback when this many classes share a name
+#: (an attribute that common is almost certainly a builtin protocol).
+_METHOD_FALLBACK_LIMIT = 4
+
+#: Method names that collide with builtin container/str/file protocols.
+#: A dict's ``.get`` must never resolve to some indexed class's ``get``,
+#: so the name-based fallback refuses these outright.
+_PROTOCOL_METHOD_NAMES = frozenset(
+    {
+        "add", "append", "clear", "close", "copy", "count", "decode",
+        "discard", "encode", "extend", "format", "get", "index", "insert",
+        "items", "join", "keys", "lower", "open", "pop", "popitem", "read",
+        "remove", "replace", "setdefault", "sort", "split", "startswith",
+        "strip", "update", "upper", "values", "write",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ResolvedFunction:
+    """One call-graph edge target: a function in an indexed module."""
+
+    module: str
+    qualname: str
+
+    @property
+    def fqn(self) -> str:
+        return f"{self.module}:{self.qualname}"
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Outcome of resolving one callee reference.
+
+    ``functions`` lists candidate summaries (possibly several for a
+    method-name fallback).  ``constructed_class`` is set when the ref
+    names a class (a constructor call).  ``module_obj`` is set when the
+    ref names a module itself.  All empty -> external/unresolved.
+    """
+
+    functions: Tuple[ResolvedFunction, ...] = ()
+    constructed_class: Optional[Tuple[str, str]] = None  # (module, class)
+    module_obj: Optional[str] = None
+
+    @property
+    def unresolved(self) -> bool:
+        return (
+            not self.functions
+            and self.constructed_class is None
+            and self.module_obj is None
+        )
+
+
+class ProjectIndex:
+    """Summaries stitched into one queryable whole-program structure."""
+
+    def __init__(self, summaries: Sequence[ModuleSummary]) -> None:
+        self.modules: Dict[str, ModuleSummary] = {}
+        # Distinct files can share a dotted name (tests/ and benchmarks/
+        # both holding a test_foo.py).  First one in wins; the shadowed
+        # file still contributes its *references* so DEAD001 never calls
+        # a name dead that only the shadowed file uses.
+        self._shadowed_used: Set[str] = set()
+        for summary in summaries:
+            if summary.module in self.modules:
+                self._shadowed_used.update(summary.used_names)
+                continue
+            self.modules[summary.module] = summary
+        # method name -> classes defining it, across every module
+        self._methods: Dict[str, List[Tuple[str, str]]] = {}
+        for summary in self.modules.values():
+            for class_name, methods in summary.classes.items():
+                for method in methods:
+                    self._methods.setdefault(method, []).append(
+                        (summary.module, class_name)
+                    )
+        self._all_used: Optional[FrozenSet[str]] = None
+
+    # ------------------------------------------------------------------
+    # Basic lookups
+    # ------------------------------------------------------------------
+
+    def function(self, resolved: ResolvedFunction) -> Optional[FunctionInfo]:
+        summary = self.modules.get(resolved.module)
+        if summary is None:
+            return None
+        return summary.functions.get(resolved.qualname)
+
+    def import_graph(self) -> Dict[str, Set[str]]:
+        """module -> indexed modules it imports (directly)."""
+        graph: Dict[str, Set[str]] = {}
+        for summary in self.modules.values():
+            edges: Set[str] = set()
+            for target, _line in summary.imports.values():
+                owner = self._module_prefix(target)
+                if owner is not None and owner != summary.module:
+                    edges.add(owner)
+            for star in summary.star_imports:
+                if star in self.modules and star != summary.module:
+                    edges.add(star)
+            graph[summary.module] = edges
+        return graph
+
+    def used_names(self) -> FrozenSet[str]:
+        """Every identifier referenced anywhere in the indexed project."""
+        if self._all_used is None:
+            combined: Set[str] = set(self._shadowed_used)
+            for summary in self.modules.values():
+                combined.update(summary.used_names)
+            self._all_used = frozenset(combined)
+        return self._all_used
+
+    def star_importers(self) -> Set[str]:
+        """Modules whose exports must be considered used (star-imported)."""
+        targets: Set[str] = set()
+        for summary in self.modules.values():
+            targets.update(s for s in summary.star_imports if s in self.modules)
+        return targets
+
+    # ------------------------------------------------------------------
+    # Reference resolution
+    # ------------------------------------------------------------------
+
+    def resolve_call(
+        self, module: str, enclosing: str, ref: Optional[str]
+    ) -> Resolution:
+        """Resolve a callee reference written inside ``enclosing``.
+
+        ``enclosing`` is the qualname of the function containing the
+        call (``""`` for module level), used for nested-def and
+        ``self.method`` resolution.
+        """
+        if ref is None:
+            return Resolution()
+        summary = self.modules.get(module)
+        if summary is None:
+            return Resolution()
+        parts = ref.split(".")
+        if len(parts) == 1:
+            return self._resolve_bare(summary, enclosing, parts[0])
+        if parts[0] == "self" and len(parts) == 2:
+            class_name = enclosing.split(".", 1)[0] if enclosing else ""
+            if class_name in summary.classes:
+                qual = f"{class_name}.{parts[1]}"
+                if qual in summary.functions:
+                    return Resolution(functions=(ResolvedFunction(module, qual),))
+        root = parts[0]
+        if root in summary.imports:
+            dotted = ".".join([summary.imports[root][0], *parts[1:]])
+            return self._resolve_dotted(dotted)
+        if root in summary.classes and len(parts) == 2:
+            qual = ".".join(parts)  # ClassName.method(...) as a plain function
+            if qual in summary.functions:
+                return Resolution(functions=(ResolvedFunction(module, qual),))
+        return self._method_fallback(parts[-1])
+
+    def _resolve_bare(
+        self, summary: ModuleSummary, enclosing: str, name: str
+    ) -> Resolution:
+        if enclosing:
+            nested = f"{enclosing}.{name}"
+            if nested in summary.functions:
+                return Resolution(
+                    functions=(ResolvedFunction(summary.module, nested),)
+                )
+        if name in summary.functions:
+            return Resolution(functions=(ResolvedFunction(summary.module, name),))
+        if name in summary.classes:
+            return Resolution(constructed_class=(summary.module, name))
+        if name in summary.imports:
+            return self._resolve_dotted(summary.imports[name][0])
+        return Resolution()
+
+    def _resolve_dotted(self, dotted: str, depth: int = 0) -> Resolution:
+        if depth > 8:  # re-export cycle guard
+            return Resolution()
+        owner = self._module_prefix(dotted)
+        if owner is None:
+            return Resolution()
+        summary = self.modules[owner]
+        rest = dotted[len(owner) :].lstrip(".")
+        if not rest:
+            return Resolution(module_obj=owner)
+        if rest in summary.functions:
+            return Resolution(functions=(ResolvedFunction(owner, rest),))
+        head = rest.split(".", 1)[0]
+        if head in summary.classes:
+            if rest == head:
+                return Resolution(constructed_class=(owner, head))
+            if rest in summary.functions:  # Class.method
+                return Resolution(functions=(ResolvedFunction(owner, rest),))
+            return Resolution()
+        if head in summary.imports:  # re-export: follow the chain
+            tail = rest[len(head) :].lstrip(".")
+            target = summary.imports[head][0]
+            next_dotted = f"{target}.{tail}" if tail else target
+            return self._resolve_dotted(next_dotted, depth + 1)
+        return Resolution()
+
+    def _method_fallback(self, method: str) -> Resolution:
+        if method in _PROTOCOL_METHOD_NAMES:
+            return Resolution()
+        candidates = self._methods.get(method, [])
+        if not candidates or len(candidates) > _METHOD_FALLBACK_LIMIT:
+            return Resolution()
+        functions = tuple(
+            ResolvedFunction(mod, f"{cls}.{method}") for mod, cls in candidates
+        )
+        return Resolution(functions=functions)
+
+    def _module_prefix(self, dotted: str) -> Optional[str]:
+        """Longest indexed-module prefix of a dotted path."""
+        parts = dotted.split(".")
+        for length in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:length])
+            if candidate in self.modules:
+                return candidate
+        return None

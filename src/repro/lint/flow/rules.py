@@ -1,0 +1,358 @@
+"""FLOW001 / FLOW002 / DEAD001 — the whole-program rules.
+
+These rules run after the per-file phase, over the
+:class:`~repro.lint.flow.index.ProjectIndex` built from every linted
+file.  They subclass :class:`WholeProgramRule`, whose per-file
+``check`` is a no-op; the engine calls ``check_project`` once.
+
+The catalogue (sources, sinks, sanitizers, approximations) is
+documented in DESIGN.md §7.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Optional, Set, Tuple
+
+from ..findings import Finding
+from ..rules.base import FileContext, Rule, register
+from ..rules.oracle import (
+    ATTACKER_VISIBLE_OSN,
+    EVALUATION_MODULES,
+    GROUND_TRUTH_ATTRIBUTES,
+    is_attacker_module,
+)
+from .index import ProjectIndex
+from .summary import AttrRead, CallInfo, ExprInfo, FunctionInfo, GATE_FUNCTIONS
+from .taint import SourceKey, TaintDomain, TaintEngine
+
+
+class WholeProgramRule(Rule):
+    """A rule that needs the whole project, not one file at a time."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())  # whole-program rules contribute nothing per file
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# FLOW001 — ground truth must not reach attacker code off-seam
+# ----------------------------------------------------------------------
+
+#: Attribute reads that introduce ground-truth taint.
+SOURCE_ATTRIBUTES: FrozenSet[str] = GROUND_TRUTH_ATTRIBUTES | {"real_birthday"}
+
+#: The simulator's own packages: reading ground truth there is its job.
+SIMULATOR_PREFIXES: Tuple[str, ...] = ("repro.worldgen", "repro.osn")
+
+#: Report emitters count as attacker-facing output alongside the
+#: attacker packages proper.
+REPORT_SINK_MODULES: FrozenSet[str] = frozenset({"repro.analysis.report"})
+
+
+def _in_simulator(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in SIMULATOR_PREFIXES
+    )
+
+
+def _is_flow001_sink(module: str) -> bool:
+    return is_attacker_module(module) or module in REPORT_SINK_MODULES
+
+
+class _GroundTruthDomain(TaintDomain):
+    """Seeds at ground-truth attribute reads outside the simulator."""
+
+    def seed(self, module: str, function: str, read: AttrRead) -> Optional[str]:
+        if read.attr not in SOURCE_ATTRIBUTES:
+            return None
+        if not module.startswith("repro."):
+            return None  # tests/fixtures may inspect ground truth freely
+        if _in_simulator(module) or module in EVALUATION_MODULES:
+            return None
+        return read.attr
+
+    def is_sanitizer_module(self, module: str) -> bool:
+        return module in EVALUATION_MODULES
+
+
+def _witness(sources: FrozenSet[SourceKey]) -> str:
+    attr, path, line, _col = min(sources)
+    return f"'.{attr}' read at {path}:{line}"
+
+
+@register
+class GroundTruthFlowRule(WholeProgramRule):
+    rule_id = "FLOW001"
+    summary = (
+        "ground-truth taint must not reach attacker code "
+        "(repro.crawler/repro.core/report emitters) except via the "
+        "oracle seam"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        result = TaintEngine(index, _GroundTruthDomain()).run()
+        emitted: Set[Tuple[str, int, int, str]] = set()
+
+        def emit(path: str, line: int, col: int, message: str) -> Iterator[Finding]:
+            key = (path, line, col, message)
+            if key not in emitted:
+                emitted.add(key)
+                yield Finding(path, line, col, self.rule_id, message)
+
+        for record in result.calls:
+            path = index.modules[record.module].path
+            callee = record.call.callee or "<call>"
+            if not _is_flow001_sink(record.module):
+                # Case A: a tainted value is handed INTO attacker code.
+                if not record.arg_sources:
+                    continue
+                hits_sink = any(
+                    _is_flow001_sink(f.module) for f in record.resolution.functions
+                )
+                constructed = record.resolution.constructed_class
+                if constructed is not None and _is_flow001_sink(constructed[0]):
+                    hits_sink = True  # a sink-module constructor call
+                if not hits_sink:
+                    continue
+                yield from emit(
+                    path,
+                    record.call.line,
+                    record.call.col,
+                    f"ground-truth value ({_witness(record.arg_sources)}) is "
+                    f"passed into attacker-layer '{callee}'; route it through "
+                    "the GroundTruthOracle seam (repro.core.oracle) instead",
+                )
+            else:
+                # Case B: attacker code calls a helper that RETURNS taint
+                # (the two-hop launder).
+                for candidate, sources in record.candidate_sources:
+                    if not sources or _is_flow001_sink(candidate.module):
+                        continue
+                    yield from emit(
+                        path,
+                        record.call.line,
+                        record.call.col,
+                        f"attacker-layer module '{record.module}' calls "
+                        f"'{callee}' ({candidate.fqn}), whose return carries "
+                        f"ground truth ({_witness(sources)}); consume it via "
+                        "repro.core.oracle instead",
+                    )
+
+        # Case C: a direct ground-truth read inside a sink module.
+        for seed in result.seeds:
+            if not _is_flow001_sink(seed.module):
+                continue
+            attr, path, line, col = seed.key
+            yield from emit(
+                path,
+                line,
+                col,
+                f"attacker-layer module '{seed.module}' reads ground-truth "
+                f"attribute '.{attr}'; go through repro.core.oracle",
+            )
+
+        # Case D: a sink module imports a tainted module-level global.
+        for module_name in sorted(index.modules):
+            if not _is_flow001_sink(module_name):
+                continue
+            summary = index.modules[module_name]
+            for binding, (target, line) in sorted(summary.imports.items()):
+                located = _locate_global(index, target)
+                if located is None:
+                    continue
+                sources = result.global_taint.get(located)
+                if not sources:
+                    continue
+                yield from emit(
+                    summary.path,
+                    line,
+                    0,
+                    f"attacker-layer module '{module_name}' imports "
+                    f"'{binding}' from {located[0]}, a module-level value "
+                    f"carrying ground truth ({_witness(sources)})",
+                )
+
+
+def _locate_global(index: ProjectIndex, dotted: str) -> Optional[Tuple[str, str]]:
+    """``(owner_module, global_name)`` for an imported dotted target."""
+    parts = dotted.split(".")
+    for length in range(len(parts) - 1, 0, -1):
+        candidate = ".".join(parts[:length])
+        if candidate in index.modules:
+            rest = parts[length:]
+            if len(rest) == 1:
+                return candidate, rest[0]
+            return None
+    return None
+
+
+# ----------------------------------------------------------------------
+# FLOW002 — privacy-gated fields must stay behind the policy gate
+# ----------------------------------------------------------------------
+
+#: Raw profile fields whose visibility the policy engine decides.
+SENSITIVE_PROFILE_FIELDS: FrozenSet[str] = frozenset(
+    {
+        "birthday",
+        "contact_info",
+        "current_city",
+        "employer",
+        "graduate_school",
+        "high_schools",
+        "hometown",
+        "interested_in",
+        "photo_count",
+        "relationship_status",
+        "wall_posts",
+    }
+)
+
+#: Fields that must ALWAYS be gated no matter the receiver: they only
+#: exist on the raw account, never on a filtered view.
+ALWAYS_GATED_FIELDS: FrozenSet[str] = frozenset(
+    {"real_birthday", "registered_birthday"}
+)
+
+#: The policy engine itself (and the settings model it reads).
+POLICY_MODULES: FrozenSet[str] = frozenset(
+    {"repro.osn.policy", "repro.osn.privacy"}
+)
+
+
+def _profile_receiver(recv: Optional[str]) -> bool:
+    return recv is not None and "profile" in recv.split(".")
+
+
+def _calls_in(expr: ExprInfo) -> Iterator[CallInfo]:
+    for call in expr.calls:
+        yield call
+        for arg in call.args:
+            yield from _calls_in(arg)
+        for _name, arg in call.kwargs:
+            yield from _calls_in(arg)
+
+
+def _policy_aware_functions(index: ProjectIndex) -> FrozenSet[str]:
+    """Functions that invoke the policy gate anywhere in their body.
+
+    The ``read-then-gate-at-use`` idiom (``contact = p.contact_info``
+    followed by ``contact.email if contact_visible else None``) gates
+    the *use*, not the read; treating gate-invoking functions as
+    policy-aware keeps that idiom clean without a path-sensitive
+    analysis.
+    """
+    aware: Set[str] = set()
+    for summary in index.modules.values():
+        for qualname, fn in summary.functions.items():
+            if _function_mentions_gate(fn):
+                aware.add(f"{summary.module}:{qualname}")
+    return frozenset(aware)
+
+
+def _function_mentions_gate(fn: FunctionInfo) -> bool:
+    for op in fn.ops:
+        for call in _calls_in(op.expr):
+            ref = call.callee
+            if ref is not None and ref.rsplit(".", 1)[-1] in GATE_FUNCTIONS:
+                return True
+    return False
+
+
+class _PrivacyGateDomain(TaintDomain):
+    """Seeds at ungated sensitive-field reads on the simulator side."""
+
+    def __init__(self, policy_aware: FrozenSet[str]) -> None:
+        self._policy_aware = policy_aware
+
+    def seed(self, module: str, function: str, read: AttrRead) -> Optional[str]:
+        if read.gated:
+            return None
+        if not module.startswith("repro.osn"):
+            return None
+        if module in POLICY_MODULES:
+            return None
+        if f"{module}:{function}" in self._policy_aware:
+            return None
+        if read.attr in ALWAYS_GATED_FIELDS:
+            return read.attr
+        if read.attr in SENSITIVE_PROFILE_FIELDS and _profile_receiver(read.recv):
+            return read.attr
+        return None
+
+    def is_sanitizer_module(self, module: str) -> bool:
+        return module in POLICY_MODULES or module in EVALUATION_MODULES
+
+
+@register
+class PrivacyGateFlowRule(WholeProgramRule):
+    rule_id = "FLOW002"
+    summary = (
+        "privacy-gated profile fields must not flow into crawler-visible "
+        "returns without passing the policy gate"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        domain = _PrivacyGateDomain(_policy_aware_functions(index))
+        result = TaintEngine(index, domain).run()
+        emitted: Set[Tuple[str, int, int, str]] = set()
+        for record in result.returns:
+            if record.module not in ATTACKER_VISIBLE_OSN:
+                continue
+            path = index.modules[record.module].path
+            message = (
+                f"crawler-visible return in '{record.module}' carries a "
+                f"profile field read without a policy gate "
+                f"({_witness(record.sources)}); check "
+                "PrivacyPolicy.field_visible_to before exposing it"
+            )
+            key = (path, record.line, record.col, message)
+            if key in emitted:
+                continue
+            emitted.add(key)
+            yield Finding(path, record.line, record.col, self.rule_id, message)
+
+
+# ----------------------------------------------------------------------
+# DEAD001 — module-level defs nothing references
+# ----------------------------------------------------------------------
+
+#: Name prefixes with framework-driven callers the index cannot see.
+_DEAD_EXEMPT_PREFIXES: Tuple[str, ...] = ("test", "Test", "pytest_")
+#: Conventional entry points (console scripts, ``python -m``).
+_DEAD_EXEMPT_NAMES: FrozenSet[str] = frozenset({"main", "setup"})
+
+
+@register
+class DeadDefinitionRule(WholeProgramRule):
+    rule_id = "DEAD001"
+    summary = (
+        "module-level functions/classes referenced nowhere in the "
+        "linted project are dead code"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        used = index.used_names()
+        star_targets = index.star_importers()
+        for module_name in sorted(index.modules):
+            summary = index.modules[module_name]
+            if module_name in star_targets:
+                continue  # star-imported: every top-level name escapes
+            for candidate in summary.dead_candidates:
+                if candidate.name.startswith(_DEAD_EXEMPT_PREFIXES):
+                    continue
+                if candidate.name in _DEAD_EXEMPT_NAMES:
+                    continue
+                if candidate.name in used:
+                    continue
+                yield Finding(
+                    summary.path,
+                    candidate.line,
+                    candidate.col,
+                    self.rule_id,
+                    f"module-level {candidate.kind} '{candidate.name}' is "
+                    "never referenced in the linted project; remove it or "
+                    "export it via __all__",
+                )

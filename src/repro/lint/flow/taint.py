@@ -1,0 +1,390 @@
+"""Inter-procedural taint propagation over a :class:`ProjectIndex`.
+
+The engine runs a classic context-insensitive summary fixpoint:
+
+* each function gets a **summary** — the concrete sources its return
+  value can carry plus the parameter indices that flow to its return;
+* each call site maps argument taint onto callee parameters (worklist
+  until stable), so taint entering a neutral helper's parameter is
+  visible when that helper forwards it;
+* module-level assignments feed a global-taint table so a tainted
+  module constant is visible to its importers.
+
+What counts as a *source* and which modules *sanitise* is delegated to
+a :class:`TaintDomain` — FLOW001 and FLOW002 instantiate the same
+engine with different domains.  Sanitiser modules (the
+``GroundTruthOracle`` seam for FLOW001, the policy engine for FLOW002)
+contribute nothing to taint: calls into them are allowed and their
+results are clean by definition.
+
+Approximations (also catalogued in DESIGN.md §7): flow-insensitive
+within a function, no heap model (``self.x = taint`` is dropped),
+unresolved calls propagate the union of their argument taint, implicit
+flows through conditions are over-approximated (the condition's own
+taint joins the expression), and lambda bodies are opaque.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .index import ProjectIndex, Resolution, ResolvedFunction
+from .summary import AttrRead, CallInfo, ExprInfo, FunctionInfo
+
+#: (attribute, path, line, col) — one concrete ground-truth extraction.
+SourceKey = Tuple[str, str, int, int]
+
+_EMPTY_SOURCES: FrozenSet[SourceKey] = frozenset()
+_EMPTY_PARAMS: FrozenSet[int] = frozenset()
+
+#: Fixpoint bound; the call-graph depth of this repo is far below it.
+_MAX_PASSES = 40
+#: Per-function local-fixpoint bound.
+_MAX_LOCAL_PASSES = 8
+#: Keep witness sets small; one witness is enough to report a finding.
+_MAX_WITNESSES = 6
+
+
+class TaintDomain:
+    """What a flow rule considers a source / a sanitiser.
+
+    Subclasses override :meth:`seed` (return a witness label for an
+    attribute read that introduces taint, or ``None``) and
+    :meth:`is_sanitizer_module`.
+    """
+
+    #: Unresolved/external calls propagate the union of argument taint.
+    propagate_unresolved = True
+
+    def seed(self, module: str, function: str, read: AttrRead) -> Optional[str]:
+        raise NotImplementedError
+
+    def is_sanitizer_module(self, module: str) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Abstract value: concrete source witnesses + parameter dependence."""
+
+    sources: FrozenSet[SourceKey] = _EMPTY_SOURCES
+    params: FrozenSet[int] = _EMPTY_PARAMS
+
+    @property
+    def empty(self) -> bool:
+        return not self.sources and not self.params
+
+    def union(self, other: "Taint") -> "Taint":
+        if other.empty:
+            return self
+        if self.empty:
+            return other
+        sources = self.sources | other.sources
+        if len(sources) > _MAX_WITNESSES:
+            sources = frozenset(sorted(sources)[:_MAX_WITNESSES])
+        return Taint(sources, self.params | other.params)
+
+
+_CLEAN = Taint()
+
+
+@dataclass(frozen=True)
+class Summary:
+    """A function's effect on taint: what its return value carries."""
+
+    sources: FrozenSet[SourceKey] = _EMPTY_SOURCES
+    params: FrozenSet[int] = _EMPTY_PARAMS
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One call site with resolved taint facts (for the sink rules)."""
+
+    module: str
+    function: str
+    call: CallInfo
+    resolution: Resolution
+    #: concrete source witnesses among the arguments
+    arg_sources: FrozenSet[SourceKey]
+    #: per-candidate: sources the callee itself (transitively) introduces
+    candidate_sources: Tuple[Tuple[ResolvedFunction, FrozenSet[SourceKey]], ...]
+
+
+@dataclass(frozen=True)
+class ReturnRecord:
+    """One return/yield with the concrete taint it carries."""
+
+    module: str
+    function: str
+    line: int
+    col: int
+    sources: FrozenSet[SourceKey]
+
+
+@dataclass(frozen=True)
+class SeedRecord:
+    """One source read, where it happened."""
+
+    module: str
+    function: str
+    key: SourceKey
+
+
+@dataclass
+class TaintResult:
+    """Everything the flow rules inspect after the fixpoint."""
+
+    summaries: Dict[str, Summary] = field(default_factory=dict)
+    global_taint: Dict[Tuple[str, str], FrozenSet[SourceKey]] = field(
+        default_factory=dict
+    )
+    calls: List[CallRecord] = field(default_factory=list)
+    returns: List[ReturnRecord] = field(default_factory=list)
+    seeds: List[SeedRecord] = field(default_factory=list)
+
+
+def _fqn(module: str, qualname: str) -> str:
+    return f"{module}:{qualname}"
+
+
+class TaintEngine:
+    """Runs one domain's taint fixpoint over an index."""
+
+    def __init__(self, index: ProjectIndex, domain: TaintDomain) -> None:
+        self.index = index
+        self.domain = domain
+        self._summaries: Dict[str, Summary] = {}
+        self._param_taint: Dict[Tuple[str, int], FrozenSet[SourceKey]] = {}
+        self._global_taint: Dict[Tuple[str, str], FrozenSet[SourceKey]] = {}
+        self._changed = False
+        self._recording: Optional[TaintResult] = None
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> TaintResult:
+        for _ in range(_MAX_PASSES):
+            self._changed = False
+            self._one_pass()
+            if not self._changed:
+                break
+        result = TaintResult(
+            summaries=dict(self._summaries), global_taint=dict(self._global_taint)
+        )
+        self._recording = result
+        self._one_pass()
+        self._recording = None
+        return result
+
+    def _one_pass(self) -> None:
+        for module_name in sorted(self.index.modules):
+            summary = self.index.modules[module_name]
+            for qualname in sorted(summary.functions):
+                self._evaluate_function(module_name, summary.functions[qualname])
+
+    # ------------------------------------------------------------------
+
+    def _evaluate_function(self, module: str, fn: FunctionInfo) -> None:
+        fqn = _fqn(module, fn.qualname)
+        env: Dict[str, Taint] = {}
+        for idx, param in enumerate(fn.params):
+            env[param] = Taint(
+                self._param_taint.get((fqn, idx), _EMPTY_SOURCES), frozenset({idx})
+            )
+        for _ in range(_MAX_LOCAL_PASSES):
+            stable = True
+            for op in fn.ops:
+                if op.kind != "assign":
+                    continue
+                value = self._eval_expr(module, fn, env, op.expr)
+                for target in op.targets:
+                    merged = env.get(target, _CLEAN).union(value)
+                    if merged != env.get(target, _CLEAN):
+                        env[target] = merged
+                        stable = False
+            if stable:
+                break
+        # Summary from returns; module level ("") publishes globals instead.
+        return_taint = _CLEAN
+        for op in fn.ops:
+            if op.kind != "return":
+                continue
+            taint = self._eval_expr(module, fn, env, op.expr)
+            return_taint = return_taint.union(taint)
+            if self._recording is not None and taint.sources:
+                self._recording.returns.append(
+                    ReturnRecord(module, fn.qualname, op.line, op.col, taint.sources)
+                )
+        if fn.qualname == "":
+            for op in fn.ops:
+                if op.kind != "assign":
+                    continue
+                value = self._eval_expr(module, fn, env, op.expr)
+                for target in op.targets:
+                    self._publish_global(module, target, value.sources)
+        new_summary = Summary(return_taint.sources, return_taint.params)
+        if self._summaries.get(fqn, Summary()) != new_summary:
+            self._summaries[fqn] = new_summary
+            self._changed = True
+        # Sink bookkeeping needs every call site visited, including ones
+        # inside non-assign ops; _eval_expr above already covered assign
+        # and return expressions, so sweep the rest.
+        for op in fn.ops:
+            if op.kind == "expr":
+                self._eval_expr(module, fn, env, op.expr)
+
+    # ------------------------------------------------------------------
+
+    def _eval_expr(
+        self, module: str, fn: FunctionInfo, env: Dict[str, Taint], expr: ExprInfo
+    ) -> Taint:
+        taint = _CLEAN
+        for name in expr.names:
+            taint = taint.union(self._name_taint(module, env, name))
+        for read in expr.reads:
+            label = self.domain.seed(module, fn.qualname, read)
+            if label is not None:
+                key: SourceKey = (
+                    label,
+                    self.index.modules[module].path,
+                    read.line,
+                    read.col,
+                )
+                taint = taint.union(Taint(frozenset({key}), _EMPTY_PARAMS))
+                if self._recording is not None:
+                    self._recording.seeds.append(
+                        SeedRecord(module, fn.qualname, key)
+                    )
+        for call in expr.calls:
+            taint = taint.union(self._eval_call(module, fn, env, call))
+        return taint
+
+    def _name_taint(self, module: str, env: Dict[str, Taint], name: str) -> Taint:
+        if name in env:
+            return env[name]
+        own = self._global_taint.get((module, name))
+        if own:
+            return Taint(own, _EMPTY_PARAMS)
+        summary = self.index.modules[module]
+        if name in summary.imports:
+            target, _line = summary.imports[name]
+            owner_and_rest = self._split_owner(target)
+            if owner_and_rest is not None:
+                owner, rest = owner_and_rest
+                if rest and "." not in rest:
+                    imported = self._global_taint.get((owner, rest))
+                    if imported:
+                        return Taint(imported, _EMPTY_PARAMS)
+        return _CLEAN
+
+    def _split_owner(self, dotted: str) -> Optional[Tuple[str, str]]:
+        parts = dotted.split(".")
+        for length in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:length])
+            if candidate in self.index.modules:
+                return candidate, ".".join(parts[length:])
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _eval_call(
+        self, module: str, fn: FunctionInfo, env: Dict[str, Taint], call: CallInfo
+    ) -> Taint:
+        arg_taints: List[Taint] = [
+            self._eval_expr(module, fn, env, arg) for arg in call.args
+        ]
+        kwarg_taints: List[Tuple[str, Taint]] = [
+            (name, self._eval_expr(module, fn, env, value))
+            for name, value in call.kwargs
+        ]
+        resolution = self.index.resolve_call(module, fn.qualname, call.callee)
+        all_args = arg_taints + [t for _, t in kwarg_taints]
+        arg_sources: FrozenSet[SourceKey] = frozenset().union(
+            *(t.sources for t in all_args)
+        ) if all_args else _EMPTY_SOURCES
+
+        result = _CLEAN
+        candidate_sources: List[Tuple[ResolvedFunction, FrozenSet[SourceKey]]] = []
+        if resolution.module_obj is not None:
+            pass  # a module reference is not a value flow
+        elif resolution.constructed_class is not None:
+            cls_module, _cls = resolution.constructed_class
+            if not self.domain.is_sanitizer_module(cls_module):
+                for taint in all_args:  # constructors carry their arguments
+                    result = result.union(taint)
+        elif resolution.functions:
+            for candidate in resolution.functions:
+                if self.domain.is_sanitizer_module(candidate.module):
+                    continue  # the seam: clean result, no propagation inward
+                callee_fn = self.index.function(candidate)
+                callee_summary = self._summaries.get(candidate.fqn, Summary())
+                candidate_sources.append((candidate, callee_summary.sources))
+                contribution = Taint(callee_summary.sources, _EMPTY_PARAMS)
+                mapped = self._map_args(callee_fn, arg_taints, kwarg_taints)
+                for idx, taint in mapped:
+                    self._propagate_param(candidate.fqn, idx, taint.sources)
+                    if idx in callee_summary.params:
+                        contribution = contribution.union(taint)
+                result = result.union(contribution)
+        elif self.domain.propagate_unresolved:
+            for taint in all_args:
+                result = result.union(taint)
+
+        if self._recording is not None:
+            self._recording.calls.append(
+                CallRecord(
+                    module=module,
+                    function=fn.qualname,
+                    call=call,
+                    resolution=resolution,
+                    arg_sources=arg_sources,
+                    candidate_sources=tuple(candidate_sources),
+                )
+            )
+        return result
+
+    def _map_args(
+        self,
+        callee: Optional[FunctionInfo],
+        arg_taints: List[Taint],
+        kwarg_taints: List[Tuple[str, Taint]],
+    ) -> List[Tuple[int, Taint]]:
+        """Map call arguments onto callee parameter indices."""
+        if callee is None:
+            return []
+        params = callee.params
+        offset = 1 if params and params[0] in ("self", "cls") else 0
+        mapped: List[Tuple[int, Taint]] = []
+        for position, taint in enumerate(arg_taints):
+            idx = position + offset
+            if idx < len(params):
+                mapped.append((idx, taint))
+        by_name = {name: i for i, name in enumerate(params)}
+        for name, taint in kwarg_taints:
+            if name in by_name:
+                mapped.append((by_name[name], taint))
+        return mapped
+
+    def _propagate_param(
+        self, fqn: str, idx: int, sources: FrozenSet[SourceKey]
+    ) -> None:
+        if not sources:
+            return
+        current = self._param_taint.get((fqn, idx), _EMPTY_SOURCES)
+        merged = current | sources
+        if len(merged) > _MAX_WITNESSES:
+            merged = frozenset(sorted(merged)[:_MAX_WITNESSES])
+        if merged != current:
+            self._param_taint[(fqn, idx)] = merged
+            self._changed = True
+
+    def _publish_global(
+        self, module: str, name: str, sources: FrozenSet[SourceKey]
+    ) -> None:
+        if not sources:
+            return
+        current = self._global_taint.get((module, name), _EMPTY_SOURCES)
+        merged = current | sources
+        if merged != current:
+            self._global_taint[(module, name)] = merged
+            self._changed = True

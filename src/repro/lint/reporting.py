@@ -13,7 +13,8 @@ def render_text(report: LintReport) -> str:
     lines.append(
         f"{len(report.findings)} {noun} "
         f"({report.suppressed} suppressed, {report.baselined} baselined) "
-        f"in {report.files_checked} file(s)"
+        f"in {report.files_checked} file(s); "
+        f"{report.files_reparsed} parsed, {report.cache_hits} cached"
     )
     return "\n".join(lines)
 
@@ -35,6 +36,9 @@ def render_json(report: LintReport) -> str:
             "suppressed": report.suppressed,
             "baselined": report.baselined,
             "files_checked": report.files_checked,
+            "files_reparsed": report.files_reparsed,
+            "cache_hits": report.cache_hits,
+            "infrastructure_errors": report.infrastructure_errors,
             "ok": report.ok,
         },
     }

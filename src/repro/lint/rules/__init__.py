@@ -3,6 +3,11 @@
 from .base import FileContext, Rule, all_rules, register, rule_ids
 from . import clock, determinism, mutables, oracle  # noqa: F401  (registration)
 
+# The whole-program rules (FLOW001/FLOW002/DEAD001) live in the flow
+# package; importing it registers them.  Imported last so the base/oracle
+# submodules it depends on are already initialised.
+from .. import flow  # noqa: E402,F401  (registration)
+
 __all__ = [
     "FileContext",
     "Rule",

@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 output: findings as GitHub code-scanning annotations.
+
+One run, one tool (``repro-lint``), one result per finding.  The rule
+catalogue embeds every rule that *ran* plus synthetic entries for the
+infrastructure ids (LINT001/LINT002) so ``ruleIndex`` always resolves.
+Column/line numbers are converted to SARIF's 1-based convention.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from .engine import ENGINE_VERSION, LintReport
+from .findings import normalize_path
+from .rules import Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Diagnostics the engine itself can emit without a registered rule.
+_BUILTIN_DESCRIPTIONS = {
+    "LINT001": "malformed or unjustified suppression directive",
+    "LINT002": "file could not be read or parsed",
+}
+
+
+def render_sarif(report: LintReport, rules: Sequence[Rule]) -> str:
+    """The report as a SARIF 2.1.0 JSON document (deterministic)."""
+    catalogue: List[Dict[str, Any]] = []
+    index_of: Dict[str, int] = {}
+
+    def add_rule(rule_id: str, description: str) -> None:
+        if rule_id in index_of:
+            return
+        index_of[rule_id] = len(catalogue)
+        catalogue.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": description},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+
+    for rule in sorted(rules, key=lambda r: r.rule_id):
+        add_rule(rule.rule_id, rule.summary)
+    for rule_id, description in sorted(_BUILTIN_DESCRIPTIONS.items()):
+        add_rule(rule_id, description)
+    for finding in report.findings:  # never emit a dangling ruleIndex
+        add_rule(finding.rule, "(unregistered rule)")
+
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": index_of[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": normalize_path(finding.path),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(1, finding.line),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in report.findings
+    ]
+
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": f"{ENGINE_VERSION}.0.0",
+                        "informationUri": (
+                            "https://github.com/paper-repro/profiling-minors-risk"
+                        ),
+                        "rules": catalogue,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

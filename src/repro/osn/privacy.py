@@ -16,6 +16,14 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Mapping
 
+__all__ = [
+    "Audience",
+    "PrivacySettings",
+    "ProfileField",
+    "Relationship",
+    "most_private",
+]
+
 
 class Audience(enum.IntEnum):
     """Who may see a profile field, ordered from most to least private.

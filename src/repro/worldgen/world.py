@@ -87,6 +87,21 @@ class World:
     def school(self, school_index: int = 0) -> School:
         return self.schools[school_index]
 
+    @property
+    def clock(self) -> SimClock:
+        """The simulation clock — harness plumbing, not ground truth.
+
+        Callers that only need the current date (the CLI, telemetry)
+        should use this instead of reaching through ``world.network``,
+        which holds the simulator's private state.
+        """
+        return self.network.clock
+
+    @property
+    def current_year(self) -> int:
+        """Current simulated year, via :attr:`clock`."""
+        return self.clock.current_year
+
     def create_attacker_accounts(self, count: int) -> List[int]:
         """Register ``count`` fake adult accounts for the third party.
 

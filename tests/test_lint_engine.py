@@ -172,25 +172,32 @@ class TestEngine:
 class TestCli:
     def test_lint_subcommand_clean_exit(self, tmp_path, capsys):
         source_path = _write(tmp_path, "clean.py", "x = 1\n")
-        assert main(["lint", source_path]) == 0
+        assert main(["lint", "--no-cache", source_path]) == 0
         assert "0 findings" in capsys.readouterr().out
 
     def test_lint_subcommand_failure_exit(self, tmp_path, capsys):
         source_path = _write(tmp_path, "whatever.py", "def f(xs=[]):\n    return xs\n")
-        assert main(["lint", source_path]) == 1
+        assert main(["lint", "--no-cache", source_path]) == 1
         assert "MUT001" in capsys.readouterr().out
 
     def test_write_and_use_baseline(self, tmp_path, capsys):
-        source_path = _write(tmp_path, "fake.py", "def f(xs=[]):\n    return xs\n")
+        source_path = _write(
+            tmp_path, "fake.py", "def f(xs=[]):\n    return xs\n\n\ng = f\n"
+        )
         baseline_path = str(tmp_path / "baseline.json")
-        assert main(["lint", source_path, "--baseline", baseline_path, "--write-baseline"]) == 0
-        assert main(["lint", source_path, "--baseline", baseline_path]) == 0
+        assert main([
+            "lint", "--no-cache", source_path,
+            "--baseline", baseline_path, "--write-baseline",
+        ]) == 0
+        assert main([
+            "lint", "--no-cache", source_path, "--baseline", baseline_path
+        ]) == 0
         out = capsys.readouterr().out
         assert "1 baselined" in out
 
     def test_select_unknown_rule_is_usage_error(self, tmp_path):
         source_path = _write(tmp_path, "clean.py", "x = 1\n")
-        assert main(["lint", source_path, "--select", "NOPE999"]) == 2
+        assert main(["lint", "--no-cache", source_path, "--select", "NOPE999"]) == 2
 
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0

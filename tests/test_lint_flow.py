@@ -1,0 +1,429 @@
+"""The whole-program phase: taint flows, dead code, cache, SARIF, CLI.
+
+Fixture projects live under ``tmp_path/repro/...`` so
+:func:`~repro.lint.module_name_for` derives real ``repro.*`` dotted
+names and the flow rules scope themselves exactly as they do on the
+shipped tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint import (
+    Baseline,
+    LintCache,
+    all_rules,
+    lint_paths,
+    render_sarif,
+    rule_signature,
+)
+from repro.cli import main
+
+
+def _rules(*ids):
+    return [rule for rule in all_rules() if rule.rule_id in ids]
+
+
+def _write(root, relative, content):
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content, encoding="utf-8")
+    return str(path)
+
+
+def _project(tmp_path, files):
+    for relative, content in files.items():
+        _write(tmp_path, relative, content)
+    return str(tmp_path / "repro")
+
+
+# ----------------------------------------------------------------------
+# FLOW001: ground truth must not reach attacker code
+# ----------------------------------------------------------------------
+
+#: A two-hop launder: the ground-truth read happens in a neutral helper
+#: module, which the attacker then calls.  No single file violates the
+#: per-file ORACLE rules.
+LAUNDER = {
+    "repro/__init__.py": "",
+    "repro/pipeline.py": (
+        "def harvest(world):\n"
+        "    truth = world.population\n"
+        "    return truth\n"
+    ),
+    "repro/core/__init__.py": "",
+    "repro/core/attack.py": (
+        "from repro.pipeline import harvest\n"
+        "\n"
+        "def attack(world):\n"
+        "    data = harvest(world)\n"
+        "    return data\n"
+    ),
+}
+
+#: The same flow routed through the sanctioned oracle seam.
+SEAMED = {
+    "repro/__init__.py": "",
+    "repro/core/__init__.py": "",
+    "repro/core/oracle.py": (
+        "def oracle_harvest(world):\n"
+        "    return world.population\n"
+    ),
+    "repro/core/attack.py": (
+        "from repro.core.oracle import oracle_harvest\n"
+        "\n"
+        "def attack(world):\n"
+        "    data = oracle_harvest(world)\n"
+        "    return data\n"
+    ),
+}
+
+
+class TestFlow001:
+    def test_two_hop_launder_is_caught(self, tmp_path):
+        root = _project(tmp_path, LAUNDER)
+        report = lint_paths([root], rules=_rules("FLOW001"))
+        assert [f.rule for f in report.findings] == ["FLOW001"]
+        finding = report.findings[0]
+        assert finding.path.endswith("attack.py")
+        assert "population" in finding.message
+        assert "oracle" in finding.message
+
+    def test_same_flow_through_the_oracle_seam_is_clean(self, tmp_path):
+        root = _project(tmp_path, SEAMED)
+        report = lint_paths([root], rules=_rules("FLOW001"))
+        assert report.findings == []
+
+    def test_direct_read_in_attacker_module_is_caught(self, tmp_path):
+        root = _project(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/core/__init__.py": "",
+                "repro/core/attack.py": (
+                    "def attack(world):\n"
+                    "    return world.ground_truth\n"
+                ),
+            },
+        )
+        report = lint_paths([root], rules=_rules("FLOW001"))
+        assert [f.rule for f in report.findings] == ["FLOW001"]
+
+    def test_tainted_argument_into_attacker_function(self, tmp_path):
+        root = _project(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/runner.py": (
+                    "from repro.core.attack import consume\n"
+                    "\n"
+                    "def run(world):\n"
+                    "    secrets = world.population\n"
+                    "    return consume(secrets)\n"
+                ),
+                "repro/core/__init__.py": "",
+                "repro/core/attack.py": (
+                    "def consume(data):\n"
+                    "    return data\n"
+                ),
+            },
+        )
+        report = lint_paths([root], rules=_rules("FLOW001"))
+        assert [f.rule for f in report.findings] == ["FLOW001"]
+        assert report.findings[0].path.endswith("runner.py")
+
+
+# ----------------------------------------------------------------------
+# FLOW002: gated profile fields in crawler-visible returns
+# ----------------------------------------------------------------------
+
+class TestFlow002:
+    def test_ungated_sensitive_return_is_caught(self, tmp_path):
+        root = _project(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/osn/__init__.py": "",
+                "repro/osn/pages.py": (
+                    "def render_profile(profile, viewer):\n"
+                    "    return profile.birthday\n"
+                ),
+            },
+        )
+        report = lint_paths([root], rules=_rules("FLOW002"))
+        assert [f.rule for f in report.findings] == ["FLOW002"]
+        assert "birthday" in report.findings[0].message
+
+    def test_policy_aware_function_is_exempt(self, tmp_path):
+        root = _project(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/osn/__init__.py": "",
+                "repro/osn/pages.py": (
+                    "def render_profile(profile, viewer, policy):\n"
+                    "    if policy.sees(viewer, 'birthday'):\n"
+                    "        return profile.birthday\n"
+                    "    return None\n"
+                ),
+            },
+        )
+        report = lint_paths([root], rules=_rules("FLOW002"))
+        assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# DEAD001: unreferenced module-level definitions
+# ----------------------------------------------------------------------
+
+class TestDead001:
+    def test_orphan_is_flagged_and_used_names_are_not(self, tmp_path):
+        root = _project(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/util.py": (
+                    "def helper():\n"
+                    "    return 1\n"
+                    "\n"
+                    "def orphan():\n"
+                    "    return 2\n"
+                ),
+                "repro/app.py": (
+                    "from repro.util import helper\n"
+                    "\n"
+                    "def main():\n"
+                    "    return helper()\n"
+                ),
+            },
+        )
+        report = lint_paths([root], rules=_rules("DEAD001"))
+        assert ["orphan"] == [
+            f.message.split("'")[1] for f in report.findings
+        ]
+
+    def test_dunder_all_export_counts_as_a_reference(self, tmp_path):
+        root = _project(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/util.py": (
+                    "__all__ = ['exported']\n"
+                    "\n"
+                    "def exported():\n"
+                    "    return 1\n"
+                ),
+            },
+        )
+        report = lint_paths([root], rules=_rules("DEAD001"))
+        assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# Cache: warm runs re-parse nothing, results are identical
+# ----------------------------------------------------------------------
+
+class TestCache:
+    def _cache(self, tmp_path, rules):
+        signature = rule_signature([r.rule_id for r in rules])
+        return LintCache(str(tmp_path / "cache.json"), signature)
+
+    def test_warm_run_reparses_zero_files(self, tmp_path):
+        root = _project(tmp_path, LAUNDER)
+        rules = all_rules()
+        cold = lint_paths([root], rules=rules, cache=self._cache(tmp_path, rules))
+        assert cold.files_reparsed == cold.files_checked > 0
+        assert cold.cache_hits == 0
+        warm = lint_paths([root], rules=rules, cache=self._cache(tmp_path, rules))
+        assert warm.files_reparsed == 0
+        assert warm.cache_hits == warm.files_checked == cold.files_checked
+        assert warm.findings == cold.findings
+
+    def test_editing_one_file_reparses_only_it(self, tmp_path):
+        root = _project(tmp_path, LAUNDER)
+        rules = all_rules()
+        lint_paths([root], rules=rules, cache=self._cache(tmp_path, rules))
+        _write(
+            tmp_path,
+            "repro/pipeline.py",
+            "def harvest(world):\n    return None\n",
+        )
+        warm = lint_paths([root], rules=rules, cache=self._cache(tmp_path, rules))
+        assert warm.files_reparsed == 1
+        assert warm.cache_hits == warm.files_checked - 1
+        # the whole-program phase saw the edit: the launder is gone
+        assert [f for f in warm.findings if f.rule == "FLOW001"] == []
+
+    def test_rule_signature_change_invalidates_everything(self, tmp_path):
+        root = _project(tmp_path, LAUNDER)
+        rules = all_rules()
+        lint_paths([root], rules=rules, cache=self._cache(tmp_path, rules))
+        subset = _rules("FLOW001")
+        fresh = lint_paths(
+            [root], rules=subset, cache=self._cache(tmp_path, subset)
+        )
+        assert fresh.cache_hits == 0
+        assert fresh.files_reparsed == fresh.files_checked
+
+
+# ----------------------------------------------------------------------
+# Parallel runs: byte-identical output for any --jobs value
+# ----------------------------------------------------------------------
+
+class TestJobs:
+    def test_jobs_4_matches_jobs_1(self, tmp_path, capsys):
+        root = _project(tmp_path, LAUNDER)
+        assert main(["lint", "--no-cache", "--format", "json", root]) == 1
+        serial = capsys.readouterr().out
+        assert (
+            main(["lint", "--no-cache", "--format", "json", "--jobs", "4", root])
+            == 1
+        )
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_bad_jobs_value_is_a_usage_error(self, tmp_path):
+        root = _project(tmp_path, {"repro/__init__.py": ""})
+        assert main(["lint", "--no-cache", "--jobs", "0", root]) == 2
+
+
+# ----------------------------------------------------------------------
+# SARIF output
+# ----------------------------------------------------------------------
+
+class TestSarif:
+    def test_document_shape(self, tmp_path):
+        root = _project(tmp_path, LAUNDER)
+        rules = all_rules()
+        report = lint_paths([root], rules=rules)
+        document = json.loads(render_sarif(report, rules))
+        assert document["version"] == "2.1.0"
+        assert "sarif-2.1.0" in document["$schema"]
+        run = document["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        ids = [rule["id"] for rule in driver["rules"]]
+        assert "FLOW001" in ids and "LINT002" in ids
+        assert report.findings  # the fixture has a FLOW001 finding
+        for result in run["results"]:
+            rule_entry = driver["rules"][result["ruleIndex"]]
+            assert rule_entry["id"] == result["ruleId"]
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+
+    def test_cli_emits_parseable_sarif(self, tmp_path, capsys):
+        root = _project(tmp_path, LAUNDER)
+        assert main(["lint", "--no-cache", "--format", "sarif", root]) == 1
+        document = json.loads(capsys.readouterr().out)
+        results = document["runs"][0]["results"]
+        assert results
+        assert any(r["ruleId"] == "FLOW001" for r in results)
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes
+# ----------------------------------------------------------------------
+
+class TestExitCodes:
+    def test_clean_tree_exits_0(self, tmp_path):
+        root = _project(tmp_path, {"repro/__init__.py": "x = 1\n"})
+        assert main(["lint", "--no-cache", root]) == 0
+
+    def test_policy_findings_exit_1(self, tmp_path):
+        root = _project(tmp_path, LAUNDER)
+        assert main(["lint", "--no-cache", root]) == 1
+
+    def test_parse_error_exits_2(self, tmp_path):
+        root = _project(tmp_path, {"repro/broken.py": "def f(:\n"})
+        assert main(["lint", "--no-cache", root]) == 2
+
+    def test_unreadable_baseline_exits_2(self, tmp_path):
+        root = _project(tmp_path, {"repro/__init__.py": ""})
+        bad = _write(tmp_path, "baseline.json", "{not json")
+        assert main(["lint", "--no-cache", root, "--baseline", bad]) == 2
+
+    def test_missing_baseline_exits_2(self, tmp_path):
+        root = _project(tmp_path, {"repro/__init__.py": ""})
+        missing = str(tmp_path / "nope.json")
+        assert main(["lint", "--no-cache", root, "--baseline", missing]) == 2
+
+
+# ----------------------------------------------------------------------
+# Baseline properties
+# ----------------------------------------------------------------------
+
+_FINDING_ROWS = st.lists(
+    st.tuples(
+        st.sampled_from(["AAA001", "BBB002"]),
+        st.sampled_from(["a.py", "b.py"]),
+        st.integers(min_value=1, max_value=50),
+        st.sampled_from(["first message", "second message"]),
+    ),
+    max_size=12,
+)
+
+
+class TestBaselineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(rows=_FINDING_ROWS, data=st.data())
+    def test_partition_is_order_independent(self, rows, data):
+        from repro.lint import Finding
+
+        findings = [
+            Finding(path, line, 0, rule, message)
+            for rule, path, line, message in rows
+        ]
+        grandfathered = (
+            data.draw(st.lists(st.sampled_from(rows), max_size=6)) if rows else []
+        )
+        baseline = Baseline.from_findings(
+            [
+                Finding(path, line, 0, rule, message)
+                for rule, path, line, message in grandfathered
+            ]
+        )
+        shuffled = data.draw(st.permutations(findings))
+
+        fresh_a, matched_a = baseline.partition(list(findings))
+        fresh_b, matched_b = baseline.partition(list(shuffled))
+        # Fingerprints ignore line numbers, so *which* duplicate survives
+        # depends on order — but how many are baselined, and the multiset
+        # of surviving fingerprints, must not.
+        assert matched_a == matched_b
+        assert Counter(f.fingerprint for f in fresh_a) == Counter(
+            f.fingerprint for f in fresh_b
+        )
+
+    def test_write_baseline_round_trip_is_stable(self, tmp_path, capsys):
+        root = _project(tmp_path, LAUNDER)
+        baseline_path = str(tmp_path / "baseline.json")
+        assert main([
+            "lint", "--no-cache", root,
+            "--baseline", baseline_path, "--write-baseline",
+        ]) == 0
+        first = open(baseline_path, encoding="utf-8").read()
+        assert main([
+            "lint", "--no-cache", root, "--baseline", baseline_path
+        ]) == 0
+        assert "baselined" in capsys.readouterr().out
+        assert main([
+            "lint", "--no-cache", root,
+            "--baseline", baseline_path, "--write-baseline",
+        ]) == 0
+        assert open(baseline_path, encoding="utf-8").read() == first
+
+
+def test_overlapping_path_arguments_lint_each_file_once(tmp_path):
+    root = _project(tmp_path, LAUNDER)
+    nested = os.path.join(root, "core")
+    once = lint_paths([root], rules=_rules("FLOW001"))
+    twice = lint_paths([root, nested], rules=_rules("FLOW001"))
+    assert twice.files_checked == once.files_checked
+    assert twice.findings == once.findings

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any, Dict
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
@@ -22,3 +24,17 @@ def emit_figure(name: str, figure) -> None:
     emit(name, render_figure(figure))
     OUTPUT_DIR.mkdir(exist_ok=True)
     save_figure_svg(figure, str(OUTPUT_DIR / f"{name}.svg"))
+
+
+def emit_json(name: str, record: Dict[str, Any]) -> None:
+    """Save a machine-readable bench record as BENCH_<name>.json.
+
+    The text/SVG exhibits are for humans; these records are the CI
+    artifact surface — stable keys, plain scalars, durations instead of
+    timestamps (CLOCK001: bench code never reads the wall clock).
+    """
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"BENCH_{name}.json"
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -303,6 +303,35 @@ def cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_worldgen(args: argparse.Namespace) -> int:
+    from repro.colgen import TIER_NAMES, bench_worldgen, write_bench_json
+
+    record = bench_worldgen(
+        args.tier,
+        seed=args.seed,
+        school=args.school,
+        blocks=args.blocks,
+    )
+    rows = [
+        ("tier", record["tier"]),
+        ("backend", record["backend"]),
+        ("accounts", f"{record['accounts']:,}"),
+        ("friendship edges", f"{record['edges']:,}"),
+        ("graph materialised", record["graph_materialized"]),
+        ("accounts / second", f"{record['accounts_per_second']:,.0f}"),
+        ("wall seconds", f"{record['wall_seconds']:.2f}"),
+        ("graph build seconds", f"{record['graph_build_seconds']:.2f}"),
+        ("column bytes", f"{record['column_nbytes']:,}"),
+        ("graph bytes", f"{record['graph_nbytes']:,}"),
+        ("peak RSS", f"{record['peak_rss_bytes'] / 2**20:,.0f} MiB"),
+    ]
+    print(ascii_table(("metric", "value"), rows, title="Columnar worldgen"))
+    if args.bench_out:
+        write_bench_json(record, args.bench_out)
+        print(f"wrote bench record to {args.bench_out}")
+    return 0
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     world = _build_world_from(args)
     export_world_json(world, args.output, include_individuals=args.full)
@@ -404,6 +433,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="include per-account records and the edge list",
     )
     export.set_defaults(func=cmd_export)
+
+    worldgen = sub.add_parser(
+        "worldgen",
+        help="generate a columnar world at a named size tier",
+    )
+    worldgen.add_argument(
+        "--tier",
+        default="smoke",
+        choices=("smoke", "paper", "city", "metro"),
+        help="size tier to generate (default: smoke)",
+    )
+    worldgen.add_argument("--seed", type=int, default=1, help="world seed")
+    worldgen.add_argument(
+        "--school",
+        default="hs1",
+        choices=("hs1", "hs2", "hs3"),
+        help="school preset for the paper tier (default: hs1)",
+    )
+    worldgen.add_argument(
+        "--blocks",
+        type=int,
+        default=None,
+        help="override the native tiers' block count (smaller test runs)",
+    )
+    worldgen.add_argument(
+        "--bench-out",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable bench record (BENCH_worldgen.json)",
+    )
+    worldgen.set_defaults(func=cmd_worldgen)
 
     lint = sub.add_parser(
         "lint",

@@ -1,0 +1,57 @@
+"""repro.colgen — columnar, tiered, memory-bounded world generation.
+
+The scale subsystem: people, accounts, privacy words and birth dates
+live in parallel typed columns keyed by integer id; friendships are a
+CSR adjacency; generation shards deterministically from one seed.  Size
+tiers run from ``smoke`` (unit tests) through ``paper`` (the published
+calibration) to ``city``/``metro`` (10^6–10^7 accounts).
+
+Entry points:
+
+* :func:`generate` — build a tier (``generate("city", seed=1)``).
+* :func:`encode_world` — losslessly columnarise a legacy object world.
+* :func:`bench_worldgen` — run a tier under measurement, for
+  ``BENCH_worldgen.json``.
+* CLI: ``python -m repro worldgen --tier city``.
+"""
+
+from .backend import ColgenDependencyError, HAS_NUMPY
+from .bench import bench_worldgen, peak_rss_bytes, write_bench_json
+from .columns import (
+    AccountColumns,
+    ColumnarWorld,
+    PeopleColumns,
+    PRIVACY_FIELD_ORDER,
+    StringTable,
+    pack_privacy,
+    unpack_privacy,
+)
+from .csr import CSRGraph
+from .encode import encode_world
+from .generate import generate
+from .tiers import TIER_NAMES, TIERS, TierSpec, tier
+from .views import PopulationView, person_view
+
+__all__ = [
+    "AccountColumns",
+    "CSRGraph",
+    "ColgenDependencyError",
+    "ColumnarWorld",
+    "HAS_NUMPY",
+    "PRIVACY_FIELD_ORDER",
+    "PeopleColumns",
+    "PopulationView",
+    "StringTable",
+    "TIERS",
+    "TIER_NAMES",
+    "TierSpec",
+    "bench_worldgen",
+    "encode_world",
+    "generate",
+    "pack_privacy",
+    "peak_rss_bytes",
+    "person_view",
+    "tier",
+    "unpack_privacy",
+    "write_bench_json",
+]

@@ -1,0 +1,212 @@
+"""CSR adjacency: the friendship graph as two flat arrays.
+
+``FriendGraph`` (dict of sets) costs ~200 bytes per edge endpoint in
+CPython — a hard ceiling around a few hundred thousand users.  The CSR
+layout here stores the same undirected graph as
+
+* ``indptr``  — ``n + 1`` monotone offsets (int64), and
+* ``indices`` — every neighbour of node ``u`` in the half-open slice
+  ``indices[indptr[u]:indptr[u + 1]]``, **sorted ascending**,
+
+which is 4–8 bytes per endpoint and answers the queries the attack
+pipeline actually issues (neighbour lists, degrees, membership, mutual
+counts) with contiguous scans and binary search.  Rows being sorted is a
+class invariant: construction sorts and deduplicates, ``validate()``
+re-checks it, and ``are_friends`` relies on it.
+
+The structure is immutable by design — worldgen produces the final
+graph; mid-crawl mutation stays on the legacy object path.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from .backend import (
+    HAS_NUMPY,
+    FloatBuffer,
+    IntBuffer,
+    buffer_nbytes,
+    cumulative_sum,
+    int_column,
+    np,
+)
+
+
+class CSRGraph:
+    """An immutable undirected graph over dense integer ids ``0..n-1``."""
+
+    __slots__ = ("indptr", "indices")
+
+    def __init__(self, indptr: IntBuffer, indices: IntBuffer) -> None:
+        self.indptr = indptr
+        self.indices = indices
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Tuple[int, int]]) -> "CSRGraph":
+        """Build from undirected edge pairs (either orientation, dups ok).
+
+        Pure-python path: fine up to paper scale.  The streaming builder
+        in :mod:`repro.colgen.generate` covers million-node worlds.
+        """
+        adjacency: List[List[int]] = [[] for _ in range(n)]
+        for a, b in edges:
+            if a == b:
+                continue
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        return cls.from_sorted_rows(
+            sorted(set(row)) for row in adjacency
+        )
+
+    @classmethod
+    def from_sorted_rows(cls, rows: Iterable[Sequence[int]]) -> "CSRGraph":
+        """Build from per-node neighbour lists already sorted ascending."""
+        counts: List[int] = []
+        flat: List[int] = []
+        for row in rows:
+            counts.append(len(row))
+            flat.extend(row)
+        return cls(cumulative_sum(counts), int_column(flat, dtype="i8"))
+
+    @classmethod
+    def from_directed_arrays(cls, n: int, src, dst) -> "CSRGraph":
+        """Vectorised build from directed endpoint arrays (numpy only).
+
+        ``src``/``dst`` must already contain both orientations of every
+        undirected edge.  Rows are sorted and deduplicated here, so the
+        caller may stream duplicates in freely.
+        """
+        if not HAS_NUMPY:  # pragma: no cover - guarded by callers
+            raise RuntimeError("from_directed_arrays needs numpy")
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        # One global argsort on the composite key (row, col) sorts every
+        # row at once; consecutive-equal keys are duplicate edges.
+        key = src * np.int64(n) + dst
+        order = np.argsort(key, kind="stable")
+        key = key[order]
+        unique = np.ones(key.shape[0], dtype=bool)
+        if key.shape[0] > 1:
+            unique[1:] = key[1:] != key[:-1]
+        src = src[order][unique]
+        indices = dst[order][unique]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        return cls(indptr, indices.astype(np.int64, copy=False))
+
+    # ------------------------------------------------------------------
+    # Queries (FriendGraph-compatible vocabulary)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.indptr) - 1
+
+    def __contains__(self, user_id: int) -> bool:
+        return 0 <= user_id < len(self)
+
+    def degree(self, user_id: int) -> int:
+        return int(self.indptr[user_id + 1] - self.indptr[user_id])
+
+    def neighbors_list(self, user_id: int) -> List[int]:
+        """Neighbours sorted ascending (the row is stored that way)."""
+        lo, hi = int(self.indptr[user_id]), int(self.indptr[user_id + 1])
+        return [int(v) for v in self.indices[lo:hi]]
+
+    def neighbors(self, user_id: int) -> Set[int]:
+        return set(self.neighbors_list(user_id))
+
+    def are_friends(self, a: int, b: int) -> bool:
+        lo, hi = int(self.indptr[a]), int(self.indptr[a + 1])
+        if HAS_NUMPY and isinstance(self.indices, np.ndarray):
+            row = self.indices[lo:hi]
+            pos = int(np.searchsorted(row, b))
+            return pos < row.shape[0] and int(row[pos]) == b
+        pos = bisect_left(self.indices, b, lo, hi)
+        return pos < hi and self.indices[pos] == b
+
+    def mutual_friend_count(self, a: int, b: int) -> int:
+        """Sorted-merge intersection size of two rows (no allocation)."""
+        ia, ea = int(self.indptr[a]), int(self.indptr[a + 1])
+        ib, eb = int(self.indptr[b]), int(self.indptr[b + 1])
+        idx = self.indices
+        count = 0
+        while ia < ea and ib < eb:
+            va, vb = idx[ia], idx[ib]
+            if va == vb:
+                count += 1
+                ia += 1
+                ib += 1
+            elif va < vb:
+                ia += 1
+            else:
+                ib += 1
+        return count
+
+    def mutual_friends(self, a: int, b: int) -> Set[int]:
+        return self.neighbors(a) & self.neighbors(b)
+
+    def edge_count(self) -> int:
+        return len(self.indices) // 2
+
+    def mean_degree(self) -> float:
+        n = len(self)
+        return (len(self.indices) / n) if n else 0.0
+
+    def degree_histogram(self) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for u in range(len(self)):
+            d = self.degree(u)
+            hist[d] = hist.get(d, 0) + 1
+        return hist
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Each undirected edge once, as (low id, high id)."""
+        for u in range(len(self)):
+            for v in self.neighbors_list(u):
+                if u < v:
+                    yield (u, v)
+
+    def subgraph_degree(self, user_id: int, within: Set[int]) -> int:
+        return sum(1 for f in self.neighbors_list(user_id) if f in within)
+
+    @property
+    def nbytes(self) -> int:
+        return buffer_nbytes(self.indptr) + buffer_nbytes(self.indices)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the class invariants; raises ``ValueError`` on breakage.
+
+        Sorted rows, no self-loops, no duplicates, symmetric adjacency,
+        and an ``indptr`` that is monotone and spans ``indices`` exactly.
+        O(E log d) — meant for tests and post-build checks, not hot paths.
+        """
+        n = len(self)
+        if int(self.indptr[0]) != 0 or int(self.indptr[n]) != len(self.indices):
+            raise ValueError("indptr does not span indices")
+        for u in range(n):
+            lo, hi = int(self.indptr[u]), int(self.indptr[u + 1])
+            if lo > hi:
+                raise ValueError(f"indptr not monotone at node {u}")
+            prev = -1
+            for i in range(lo, hi):
+                v = int(self.indices[i])
+                if v == u:
+                    raise ValueError(f"self-loop at node {u}")
+                if v <= prev:
+                    raise ValueError(f"row {u} not sorted/deduplicated")
+                if not 0 <= v < n:
+                    raise ValueError(f"row {u} references out-of-range node {v}")
+                prev = v
+        for u in range(n):
+            for v in self.neighbors_list(u):
+                if not self.are_friends(v, u):
+                    raise ValueError(f"asymmetric edge {u}->{v}")

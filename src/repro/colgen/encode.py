@@ -1,0 +1,120 @@
+"""Encode a legacy object :class:`~repro.worldgen.world.World` into columns.
+
+This is the bridge between the two generations of worldgen: the
+``smoke``/``paper`` tiers run the fully-calibrated object generator
+(every behavioural knob of the paper intact), then *encode* the result
+into the columnar layout.  Because encoding is a pure re-representation
+— no RNG draws, no reordering — the lazy views decode back to objects
+that compare equal field-for-field, which is exactly what the
+equivalence suite asserts.  The native vectorised path
+(:mod:`repro.colgen.generate`) takes over at ``city`` scale, where the
+object generator cannot go.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.worldgen.world import World
+
+from .backend import float_column, int_column
+from .columns import (
+    AccountColumns,
+    ColumnarWorld,
+    PeopleColumns,
+    StringTable,
+    pack_privacy,
+)
+from .csr import CSRGraph
+from .views import GENDER_TO_ORDINAL, ROLE_TO_ORDINAL
+
+
+def encode_world(world: World, tier: str = "paper") -> ColumnarWorld:
+    """Losslessly re-represent a built world as columns + CSR."""
+    names = StringTable()
+    cities = StringTable()
+    streets = StringTable()
+
+    people = world.population.people
+    people_cols = PeopleColumns(
+        birth_year_fraction=float_column(p.birth_year_fraction for p in people),
+        role=int_column((ROLE_TO_ORDINAL[p.role] for p in people), dtype="i1"),
+        gender=int_column((GENDER_TO_ORDINAL[p.gender] for p in people), dtype="i1"),
+        school_index=int_column(
+            (-1 if p.school_index is None else p.school_index for p in people),
+            dtype="i2",
+        ),
+        cohort_year=int_column(
+            (-1 if p.cohort_year is None else p.cohort_year for p in people),
+            dtype="i4",
+        ),
+        tenure_years=float_column(p.tenure_years for p in people),
+        left_years_ago=float_column(p.left_years_ago for p in people),
+        household_id=int_column(
+            (-1 if p.household_id is None else p.household_id for p in people),
+            dtype="i8",
+        ),
+        first_name_id=int_column(
+            (names.intern(p.name.first) for p in people), dtype="i4"
+        ),
+        last_name_id=int_column(
+            (names.intern(p.name.last) for p in people), dtype="i4"
+        ),
+        city_id=int_column((cities.intern(p.city) for p in people), dtype="i4"),
+        street_id=int_column(
+            (streets.intern(p.street_address) for p in people), dtype="i4"
+        ),
+    )
+
+    n_users = len(world.network.users)
+    uids = sorted(world.network.users)
+    uid_base = uids[0] if uids else 0
+    if uids != list(range(uid_base, uid_base + n_users)):
+        raise ValueError("expected contiguous user ids from worldgen")
+    accounts = [world.network.users[uid] for uid in uids]
+    account_cols = AccountColumns(
+        person_id=int_column(
+            (-1 if a.person_id is None else a.person_id for a in accounts),
+            dtype="i8",
+        ),
+        registered_birth_year=int_column(
+            (a.registered_birthday.year for a in accounts), dtype="i4"
+        ),
+        registered_birth_fraction=float_column(
+            a.registered_birthday.fraction for a in accounts
+        ),
+        real_birth_year=int_column(
+            (a.real_birthday.year for a in accounts), dtype="i4"
+        ),
+        real_birth_fraction=float_column(
+            a.real_birthday.fraction for a in accounts
+        ),
+        created_at_year=float_column(a.created_at_year for a in accounts),
+        is_fake=int_column((int(a.is_fake) for a in accounts), dtype="i1"),
+        privacy=int_column((pack_privacy(a.settings) for a in accounts), dtype="u8"),
+    )
+
+    # neighbors_list is already sorted; shifting every id by the same
+    # base preserves that order, so CSR rows inherit it directly.
+    csr = CSRGraph.from_sorted_rows(
+        [n - uid_base for n in world.network.graph.neighbors_list(uid)]
+        for uid in uids
+    )
+
+    columnar = ColumnarWorld(
+        tier=tier,
+        seed=world.config.seed,
+        observation_year=world.config.observation_year,
+        people=people_cols,
+        accounts=account_cols,
+        csr=csr,
+        uid_base=uid_base,
+        names=names,
+        cities=cities,
+        streets=streets,
+        schools=[(s.name, s.city) for s in world.schools],
+        person_to_user=dict(world.account_index.person_to_user),
+    )
+    columnar.stats["accounts"] = float(n_users)
+    columnar.stats["edges"] = float(csr.edge_count())
+    return columnar

@@ -1,0 +1,121 @@
+"""Lazy object views over the columns.
+
+The crawl/attack pipeline and the seed tests speak the object
+vocabulary: :class:`~repro.worldgen.population.Person`,
+:class:`~repro.osn.privacy.PrivacySettings`, friendship sets.  These
+views decode single rows on demand — a ``Person`` is materialised only
+when someone asks for it, so holding a million-row world costs columns,
+not objects.
+
+The decoding contract is exact: for a world encoded from the legacy
+generator, ``person(pid)`` compares equal (``==``, field for field) to
+the legacy ``Person`` and ``privacy_settings(uid)`` to the legacy
+``PrivacySettings``.  ``tests/test_colgen_equivalence.py`` enforces this
+bit-for-bit at the ``paper`` tier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.osn.profile import Gender, Name
+from repro.worldgen.population import Person, Role
+
+from .columns import ColumnarWorld
+
+#: Ordinal encodings for the enum columns.  Declaration order is the
+#: contract (same stability rule as PRIVACY_FIELD_ORDER).
+ROLE_ORDER: Tuple[Role, ...] = tuple(Role)
+GENDER_ORDER: Tuple[Gender, ...] = tuple(Gender)
+
+ROLE_TO_ORDINAL: Dict[Role, int] = {r: i for i, r in enumerate(ROLE_ORDER)}
+GENDER_TO_ORDINAL: Dict[Gender, int] = {g: i for i, g in enumerate(GENDER_ORDER)}
+
+
+def person_view(world: ColumnarWorld, person_id: int) -> Person:
+    """Decode one person row into a full legacy :class:`Person`."""
+    cols = world.people
+    school_index = int(cols.school_index[person_id])
+    cohort_year = int(cols.cohort_year[person_id])
+    household = int(cols.household_id[person_id])
+    return Person(
+        person_id=person_id,
+        name=Name(
+            world.names.lookup(int(cols.first_name_id[person_id])) or "",
+            world.names.lookup(int(cols.last_name_id[person_id])) or "",
+        ),
+        gender=GENDER_ORDER[int(cols.gender[person_id])],
+        birth_year_fraction=float(cols.birth_year_fraction[person_id]),
+        role=ROLE_ORDER[int(cols.role[person_id])],
+        city=world.cities.lookup(int(cols.city_id[person_id])) or "",
+        school_index=None if school_index < 0 else school_index,
+        cohort_year=None if cohort_year < 0 else cohort_year,
+        tenure_years=float(cols.tenure_years[person_id]),
+        left_years_ago=float(cols.left_years_ago[person_id]),
+        household_id=None if household < 0 else household,
+        street_address=world.streets.lookup(int(cols.street_id[person_id])),
+    )
+
+
+class PopulationView:
+    """A read-only, lazily-decoding stand-in for
+    :class:`~repro.worldgen.population.Population`.
+
+    Role/school indexes are derived from the columns on first use and
+    cached; individual ``Person`` objects are decoded per call and NOT
+    cached (callers that loop should hold what they need).
+    """
+
+    def __init__(self, world: ColumnarWorld) -> None:
+        self._world = world
+        self._by_role: Optional[Dict[Role, List[int]]] = None
+        self._households: Optional[Dict[int, Tuple[List[int], List[int]]]] = None
+
+    def __len__(self) -> int:
+        return self._world.n_people
+
+    def person(self, person_id: int) -> Person:
+        return person_view(self._world, person_id)
+
+    def __iter__(self) -> Iterator[Person]:
+        for pid in range(len(self)):
+            yield self.person(pid)
+
+    # ------------------------------------------------------------------
+    # Derived indexes (computed by scanning columns, then cached)
+    # ------------------------------------------------------------------
+    def _role_index(self) -> Dict[Role, List[int]]:
+        if self._by_role is None:
+            by_role: Dict[Role, List[int]] = {}
+            role_col = self._world.people.role
+            for pid in range(len(self)):
+                by_role.setdefault(ROLE_ORDER[int(role_col[pid])], []).append(pid)
+            self._by_role = by_role
+        return self._by_role
+
+    def ids_with_role(self, role: Role) -> List[int]:
+        return self._role_index().get(role, [])
+
+    def students_by_school(self, school_index: int) -> Dict[int, List[int]]:
+        """Cohort year -> current-student person ids (legacy shape)."""
+        cols = self._world.people
+        out: Dict[int, List[int]] = {}
+        for pid in self.ids_with_role(Role.STUDENT):
+            if int(cols.school_index[pid]) == school_index:
+                out.setdefault(int(cols.cohort_year[pid]), []).append(pid)
+        return out
+
+    def households(self) -> Dict[int, Tuple[List[int], List[int]]]:
+        """Household id -> (student person ids, parent person ids)."""
+        if self._households is None:
+            cols = self._world.people
+            homes: Dict[int, Tuple[List[int], List[int]]] = {}
+            for pid in range(len(self)):
+                hid = int(cols.household_id[pid])
+                if hid < 0:
+                    continue
+                children, parents = homes.setdefault(hid, ([], []))
+                role = ROLE_ORDER[int(cols.role[pid])]
+                (parents if role is Role.PARENT else children).append(pid)
+            self._households = homes
+        return self._households

@@ -12,10 +12,18 @@ Flagged:
 * importing those functions directly (``from random import choice``),
 * unseeded constructors: ``random.Random()``, ``random.SystemRandom``,
   ``numpy.random.default_rng()`` / ``RandomState()`` with no arguments,
-* legacy global numpy randomness (``np.random.seed``, ``np.random.rand``).
+* legacy global numpy randomness (``np.random.seed``, ``np.random.rand``),
+* module-level RNG *instances* (``RNG = np.random.default_rng(0)`` at
+  module scope) — even seeded, a module-global generator is shared
+  mutable state: any new caller perturbs every later draw, so adding an
+  import can silently reorder someone else's stream.  repro.colgen's
+  sharded generation depends on per-shard generators constructed inside
+  functions; this check keeps that discipline mechanical.
 
 Allowed: ``random.Random(seed)``, passing a ``random.Random`` around,
-``np.random.default_rng(seed)`` and methods on generator *instances*.
+``np.random.default_rng(seed)`` and methods on generator *instances*
+(constructed and owned inside a function or class), and module-level
+``SeedSequence`` values (immutable seed material, not a generator).
 """
 
 from __future__ import annotations
@@ -55,6 +63,13 @@ GLOBAL_RNG_FUNCTIONS = frozenset(
 
 #: numpy.random names that are fine (explicitly seeded constructions).
 NUMPY_SEEDED_OK = frozenset({"Generator", "SeedSequence", "BitGenerator", "PCG64"})
+
+#: Constructors that produce a *stateful* generator.  Binding one at
+#: module scope is flagged regardless of seeding; SeedSequence is absent
+#: on purpose (immutable seed material is safe to share).
+RNG_CONSTRUCTORS = frozenset(
+    {"Random", "SystemRandom", "default_rng", "RandomState", "Generator", "PCG64"}
+)
 
 
 def dotted_name(node: ast.expr) -> Optional[str]:
@@ -100,6 +115,51 @@ class SeededRandomnessRule(Rule):
                 yield from self._check_import_from(ctx, node)
             elif isinstance(node, ast.Call):
                 yield from self._check_call(ctx, node, aliases)
+        yield from self._check_module_level_rngs(ctx, aliases)
+
+    def _check_module_level_rngs(
+        self, ctx: FileContext, aliases: Dict[str, str]
+    ) -> Iterator[Finding]:
+        """Flag generator instances bound at module scope, seeded or not."""
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value = stmt.value
+            else:
+                continue
+            if not isinstance(value, ast.Call):
+                continue
+            ctor = self._rng_constructor_name(value.func, aliases)
+            if ctor is not None:
+                yield ctx.finding(
+                    stmt,
+                    self.rule_id,
+                    f"module-level RNG instance ({ctor}); a module-global "
+                    "generator is shared mutable state — construct it inside "
+                    "the function that owns the stream and thread the seed "
+                    "explicitly",
+                )
+
+    def _rng_constructor_name(
+        self, func: ast.expr, aliases: Dict[str, str]
+    ) -> Optional[str]:
+        """Dotted name if ``func`` is an RNG constructor, else None."""
+        name = dotted_name(func)
+        if name is None:
+            return None
+        if "." not in name:
+            return None
+        head, rest = name.split(".", 1)
+        module = aliases.get(head)
+        if module == "random" and rest in RNG_CONSTRUCTORS:
+            return f"random.{rest}"
+        if module == "numpy" and rest.startswith("random."):
+            rest = rest[len("random."):]
+            module = "numpy.random"
+        if module == "numpy.random" and rest in RNG_CONSTRUCTORS:
+            return f"numpy.random.{rest}"
+        return None
 
     def _check_import_from(
         self, ctx: FileContext, node: ast.ImportFrom

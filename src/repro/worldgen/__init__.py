@@ -25,7 +25,7 @@ from .config import (
 from .lying import RegistrationPlan, expected_registered_adult_fraction, plan_registration
 from .names import NameSampler
 from .population import Person, Population, PopulationBuilder, Role, build_population
-from .presets import PRESETS, hs1, hs2, hs3, preset, tiny
+from .presets import PRESETS, hs1, hs2, hs3, preset, smoke, tiny
 from .calibration import CalibrationReport, CalibrationRow, calibrate
 from .export import export_world_json, load_world_export, world_summary
 from .records import VoterRecord, VoterRegistry, build_voter_registry
@@ -71,6 +71,7 @@ __all__ = [
     "hs3",
     "plan_registration",
     "preset",
+    "smoke",
     "tiny",
     "world_summary",
 ]

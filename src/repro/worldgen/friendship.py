@@ -16,6 +16,13 @@ seconds.  Attendance-window overlap scales down the probability for
 transfer students and leavers, so someone who left two years ago shares
 few friends with this year's freshmen — exactly the structure the paper
 relies on when classifying by year.
+
+numpy is optional (the ``scale`` extra): on a minimal install every
+sampler falls back to a scalar pure-python loop driven by its own
+seeded ``random.Random``.  Each backend is deterministic for a given
+seed, but the two backends draw different edge sets — cross-backend
+equality is not promised, and the numpy path never changes a single
+draw when the fallback exists (same calls, same order).
 """
 
 from __future__ import annotations
@@ -25,7 +32,13 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - minimal-install path
+    np = None  # type: ignore[assignment]
+    HAS_NUMPY = False
 
 from repro.osn.network import SocialNetwork
 
@@ -73,7 +86,13 @@ class FriendshipBuilder:
         self.network = network
         self.index = index
         self.rng = rng
-        self.np_rng = np.random.default_rng(rng.getrandbits(64))
+        # Both backends consume the same 64 bits from rng here, so the
+        # caller's stream stays aligned whichever backend is active.
+        sampler_seed = rng.getrandbits(64)
+        self.np_rng = (
+            np.random.default_rng(sampler_seed) if HAS_NUMPY else None
+        )
+        self._py_rng = random.Random(sampler_seed)
         self._edges: set[Tuple[int, int]] = set()
 
     # ------------------------------------------------------------------
@@ -182,11 +201,17 @@ class FriendshipBuilder:
                 )
 
     # ------------------------------------------------------------------
-    # Vectorised samplers
+    # Vectorised samplers (scalar pure-python fallbacks without numpy)
     # ------------------------------------------------------------------
+    def _pair_overlap(self, a: _Member, b: _Member) -> float:
+        """Scalar attendance-overlap factor for one pair (fallback path)."""
+        horizon = self.config.friendship.tenure_overlap_years
+        overlap = min(a.window_end, b.window_end) - max(a.window_start, b.window_start)
+        return min(max(overlap / horizon, 0.0), 1.0)
+
     def _overlap_factor(
         self, members_a: Sequence[_Member], members_b: Sequence[_Member]
-    ) -> np.ndarray:
+    ) -> "np.ndarray":
         """Pairwise attendance-overlap factor in [0, 1] (a × b matrix)."""
         horizon = self.config.friendship.tenure_overlap_years
         start_a = np.array([m.window_start for m in members_a])[:, None]
@@ -200,6 +225,13 @@ class FriendshipBuilder:
         n = len(members)
         if n < 2:
             return
+        if not HAS_NUMPY:
+            for i in range(n):
+                for j in range(i + 1, n):
+                    p = base_p * self._pair_overlap(members[i], members[j])
+                    if self._py_rng.random() < p:
+                        self._add_edge(members[i].uid, members[j].uid)
+            return
         probs = base_p * self._overlap_factor(members, members)
         iu, ju = np.triu_indices(n, k=1)
         hits = self.np_rng.random(iu.shape[0]) < probs[iu, ju]
@@ -211,15 +243,37 @@ class FriendshipBuilder:
     ) -> None:
         if not members_a or not members_b:
             return
+        if not HAS_NUMPY:
+            for a in members_a:
+                for b in members_b:
+                    if self._py_rng.random() < base_p * self._pair_overlap(a, b):
+                        self._add_edge(a.uid, b.uid)
+            return
         probs = base_p * self._overlap_factor(members_a, members_b)
         hits = self.np_rng.random(probs.shape) < probs
         for i, j in zip(*np.nonzero(hits)):
             self._add_edge(members_a[i].uid, members_b[j].uid)
 
+    def _binomial_count(self, n_trials: int, p: float) -> int:
+        """Fallback binomial draw (normal approximation above 64 trials)."""
+        p = min(p, 1.0)
+        if n_trials <= 64:
+            return sum(self._py_rng.random() < p for _ in range(n_trials))
+        mean = n_trials * p
+        std = math.sqrt(n_trials * p * (1.0 - p))
+        return max(0, min(n_trials, round(self._py_rng.gauss(mean, std))))
+
     def _sparse_bipartite(self, uids_a: Sequence[int], uids_b: Sequence[int], p: float) -> None:
         """Sample a sparse bipartite edge set without enumerating pairs."""
         na, nb = len(uids_a), len(uids_b)
         if na == 0 or nb == 0 or p <= 0:
+            return
+        if not HAS_NUMPY:
+            for _ in range(self._binomial_count(na * nb, p)):
+                self._add_edge(
+                    uids_a[self._py_rng.randrange(na)],
+                    uids_b[self._py_rng.randrange(nb)],
+                )
             return
         count = self.np_rng.binomial(na * nb, min(p, 1.0))
         if count == 0:
@@ -232,6 +286,13 @@ class FriendshipBuilder:
     def _sparse_within(self, uids: Sequence[int], p: float) -> None:
         n = len(uids)
         if n < 2 or p <= 0:
+            return
+        if not HAS_NUMPY:
+            for _ in range(self._binomial_count(n * (n - 1) // 2, p)):
+                i = self._py_rng.randrange(n)
+                j = self._py_rng.randrange(n)
+                if i != j:
+                    self._add_edge(uids[i], uids[j])
             return
         n_pairs = n * (n - 1) // 2
         count = self.np_rng.binomial(n_pairs, min(p, 1.0))
@@ -261,24 +322,30 @@ class FriendshipBuilder:
     # ------------------------------------------------------------------
     # External friends
     # ------------------------------------------------------------------
-    def _external_pool(self) -> np.ndarray:
+    def _external_pool(self) -> Sequence[int]:
         uids = [
             uid
             for role in (Role.EXTERNAL, Role.CITY_ADULT)
             for pid in self.population.ids_with_role(role)
             if (uid := self.index.user_for(pid)) is not None
         ]
+        if not HAS_NUMPY:
+            return uids
         return np.array(uids, dtype=np.int64)
 
-    def _external_degree(self, median: float, sigma: float, size: int) -> np.ndarray:
-        return np.maximum(
-            1, self.np_rng.lognormal(math.log(max(median, 1.0)), sigma, size).astype(int)
-        )
+    def _external_degree(self, median: float, sigma: float, size: int) -> Sequence[int]:
+        mu = math.log(max(median, 1.0))
+        if not HAS_NUMPY:
+            return [
+                max(1, int(self._py_rng.lognormvariate(mu, sigma)))
+                for _ in range(size)
+            ]
+        return np.maximum(1, self.np_rng.lognormal(mu, sigma, size).astype(int))
 
     def _build_external_edges(self) -> None:
         cfg = self.config.friendship
         pool = self._external_pool()
-        if pool.size == 0:
+        if len(pool) == 0:
             return
         plans = (
             ((Role.STUDENT, Role.FORMER_STUDENT), cfg.student_external_median, cfg.student_external_sigma),
@@ -295,7 +362,12 @@ class FriendshipBuilder:
             if not uids:
                 continue
             degrees = self._external_degree(median, sigma, len(uids))
+            if not HAS_NUMPY:
+                for uid, k in zip(uids, degrees):
+                    for t in self._py_rng.sample(pool, min(int(k), len(pool))):
+                        self._add_edge(uid, t)
+                continue
             for uid, k in zip(uids, degrees):
-                targets = self.np_rng.choice(pool, size=min(int(k), pool.size), replace=False)
+                targets = self.np_rng.choice(pool, size=min(int(k), len(pool)), replace=False)
                 for t in targets:
                     self._add_edge(uid, int(t))

@@ -154,6 +154,39 @@ def hs3(seed: int = 303) -> WorldConfig:
     )
 
 
+def smoke(seed: int = 11) -> WorldConfig:
+    """The ``smoke`` tier: a mid-sized world (~7k accounts).
+
+    Sits between ``tiny`` and the paper schools — big enough that the
+    candidate pool, churn and external-degree machinery all exercise
+    realistically, small enough for CI smoke runs and the seed tests
+    that only need *a* school-shaped world, not a calibrated one.
+    """
+    return WorldConfig(
+        seed=seed,
+        observation_year=2012.25,
+        city_name="Midvale",
+        schools=(
+            SchoolConfig(
+                name="Midvale High School",
+                city="Midvale",
+                enrollment=240,
+                alumni_cohorts=6,
+                churn_out_rate=0.15,
+                transfer_in_rate=0.08,
+            ),
+        ),
+        friendship=FriendshipConfig(
+            p_same_cohort=0.50,
+            p_adjacent_cohort=0.08,
+            student_external_median=120.0,
+            alumni_external_median=130.0,
+        ),
+        externals=ExternalPoolConfig(size=6000),
+        osn=OsnParamsConfig(search_result_cap=120),
+    )
+
+
 def tiny(seed: int = 7) -> WorldConfig:
     """A fast, small world for unit and property tests."""
     return WorldConfig(
@@ -182,7 +215,7 @@ def tiny(seed: int = 7) -> WorldConfig:
     )
 
 
-PRESETS = {"hs1": hs1, "hs2": hs2, "hs3": hs3, "tiny": tiny}
+PRESETS = {"hs1": hs1, "hs2": hs2, "hs3": hs3, "smoke": smoke, "tiny": tiny}
 
 
 def preset(name: str, seed: int | None = None) -> WorldConfig:

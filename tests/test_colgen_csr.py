@@ -1,0 +1,99 @@
+"""CSR adjacency: construction paths, queries and invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.colgen import CSRGraph
+from repro.colgen.backend import HAS_NUMPY
+
+#: A small fixed graph: 0-1, 0-2, 1-2, 2-3, 4 isolated.
+_EDGES = [(0, 1), (0, 2), (1, 2), (2, 3)]
+_N = 5
+
+
+@pytest.fixture
+def graph():
+    return CSRGraph.from_edges(_N, _EDGES)
+
+
+class TestConstruction:
+    def test_from_edges_round_trips(self, graph):
+        assert sorted(graph.edges()) == sorted(_EDGES)
+
+    def test_rows_are_sorted_and_symmetric(self, graph):
+        graph.validate()
+        assert graph.neighbors_list(0) == [1, 2]
+        assert graph.neighbors_list(2) == [0, 1, 3]
+        assert graph.neighbors_list(4) == []
+
+    def test_duplicate_and_self_edges_are_dropped(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 0), (0, 1), (2, 2)])
+        g.validate()
+        assert g.edge_count() == 1
+        assert g.neighbors_list(2) == []
+
+    def test_from_sorted_rows_matches_from_edges(self, graph):
+        rebuilt = CSRGraph.from_sorted_rows(
+            graph.neighbors_list(u) for u in range(_N)
+        )
+        assert rebuilt.neighbors_list(2) == graph.neighbors_list(2)
+        assert rebuilt.edge_count() == graph.edge_count()
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="native path needs numpy")
+    def test_from_directed_arrays_dedups_and_sorts(self):
+        import numpy as np
+
+        # both orientations of 0-1 (twice), 1-2, 2-3, plus a self loop
+        src = np.array([0, 1, 0, 1, 1, 2, 2, 3, 0], dtype=np.int64)
+        dst = np.array([1, 0, 1, 0, 2, 1, 3, 2, 0], dtype=np.int64)
+        g = CSRGraph.from_directed_arrays(4, src, dst)
+        g.validate()
+        assert sorted(g.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+
+class TestQueries:
+    def test_degree(self, graph):
+        assert [graph.degree(u) for u in range(_N)] == [2, 2, 3, 1, 0]
+
+    def test_are_friends_is_symmetric(self, graph):
+        for a, b in _EDGES:
+            assert graph.are_friends(a, b) and graph.are_friends(b, a)
+        assert not graph.are_friends(0, 3)
+        assert not graph.are_friends(4, 0)
+
+    def test_mutual_friends(self, graph):
+        assert graph.mutual_friends(0, 1) == {2}
+        assert graph.mutual_friend_count(0, 1) == 1
+        assert graph.mutual_friends(0, 3) == {2}
+        assert graph.mutual_friend_count(2, 4) == 0
+
+    def test_mean_degree_and_edge_count(self, graph):
+        assert graph.edge_count() == len(_EDGES)
+        assert graph.mean_degree() == pytest.approx(2 * len(_EDGES) / _N)
+
+    def test_nbytes_positive(self, graph):
+        assert graph.nbytes > 0
+
+
+class TestValidate:
+    def test_rejects_unsorted_row(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2)])
+        g.indices[0], g.indices[1] = g.indices[1], g.indices[0]
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_rejects_asymmetry(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        g.indices[0] = 2  # 0->2 without 2->0
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_rejects_self_loop(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        # make 1's row contain 1 itself while staying sorted
+        row = g.neighbors_list(1)
+        assert row == [0, 2]
+        g.indices[g.indptr[1] + 1] = 1
+        with pytest.raises(ValueError):
+            g.validate()

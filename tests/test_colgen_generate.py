@@ -1,0 +1,150 @@
+"""Native tiered generation: determinism, sharding, tiers, bench, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.colgen import (
+    TIER_NAMES,
+    TIERS,
+    bench_worldgen,
+    generate,
+    tier,
+    write_bench_json,
+)
+from repro.colgen.backend import HAS_NUMPY
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="native tiers need numpy")
+
+#: 3 blocks x 4k = 12k accounts: full native machinery, test-sized.
+_BLOCKS = 3
+
+
+@pytest.fixture(scope="module")
+def mini_city():
+    if not HAS_NUMPY:
+        pytest.skip("native tiers need numpy")
+    return generate("city", seed=7, blocks=_BLOCKS)
+
+
+class TestTierRegistry:
+    def test_ladder_names(self):
+        assert TIER_NAMES == ("smoke", "paper", "city", "metro")
+
+    def test_city_targets_a_million(self):
+        assert TIERS["city"].approx_accounts == 1_000_000
+
+    def test_metro_is_generation_only(self):
+        assert not TIERS["metro"].materialize_graph
+        assert TIERS["metro"].approx_accounts == 10_000_000
+
+    def test_unknown_tier_is_a_keyerror(self):
+        with pytest.raises(KeyError, match="unknown tier"):
+            tier("galaxy")
+
+
+@needs_numpy
+class TestNativeGeneration:
+    def test_shape_and_identity_mapping(self, mini_city):
+        spec = TIERS["city"]
+        n = _BLOCKS * spec.block_size
+        assert mini_city.n_accounts == mini_city.n_people == n
+        assert mini_city.identity_mapping
+        assert mini_city.user_for(5) == 5
+        assert mini_city.person_for(5) == 5
+        assert mini_city.user_for(n) is None
+
+    def test_same_seed_same_world(self, mini_city):
+        import numpy as np
+
+        again = generate("city", seed=7, blocks=_BLOCKS)
+        assert np.array_equal(again.accounts.privacy, mini_city.accounts.privacy)
+        assert np.array_equal(
+            again.people.birth_year_fraction, mini_city.people.birth_year_fraction
+        )
+        assert np.array_equal(again.csr.indptr, mini_city.csr.indptr)
+        assert np.array_equal(again.csr.indices, mini_city.csr.indices)
+
+    def test_different_seed_different_world(self, mini_city):
+        import numpy as np
+
+        other = generate("city", seed=8, blocks=_BLOCKS)
+        assert not np.array_equal(other.csr.indices, mini_city.csr.indices)
+
+    def test_csr_invariants_at_scale(self, mini_city):
+        mini_city.csr.validate()
+        assert mini_city.n_edges > 0
+
+    def test_views_decode_native_rows(self, mini_city):
+        from repro.colgen import person_view
+
+        person = person_view(mini_city, 42)
+        assert person.person_id == 42
+        assert person.name.first and person.name.last
+        settings = mini_city.privacy_settings(42)
+        assert settings.default is not None
+
+    def test_minors_get_minor_defaults(self, mini_city):
+        from repro.osn.privacy import Audience, ProfileField
+
+        checked = 0
+        for uid in range(mini_city.n_accounts):
+            if mini_city.is_registered_minor(uid):
+                settings = mini_city.privacy_settings(uid)
+                assert not settings.public_search
+                assert (
+                    settings.audience_for(ProfileField.FRIEND_LIST)
+                    is not Audience.PUBLIC
+                )
+                checked += 1
+                if checked >= 200:
+                    break
+        assert checked > 0
+
+    def test_metro_never_materialises_adjacency(self):
+        world = generate("metro", seed=1, blocks=2)
+        assert world.csr is None
+        with pytest.raises(RuntimeError, match="generation-only"):
+            world.friends(0)
+
+
+@needs_numpy
+class TestBench:
+    def test_bench_record_fields(self, tmp_path):
+        record = bench_worldgen("city", seed=7, blocks=_BLOCKS)
+        assert record["accounts"] == _BLOCKS * TIERS["city"].block_size
+        assert record["graph_materialized"]
+        assert record["accounts_per_second"] > 0
+        assert record["peak_rss_bytes"] > 0
+        assert record["backend"] == "numpy"
+
+        out = tmp_path / "BENCH_worldgen.json"
+        write_bench_json(record, str(out))
+        assert json.loads(out.read_text())["tier"] == "city"
+
+    def test_smoke_bench_runs_object_path(self):
+        record = bench_worldgen("smoke", seed=11)
+        assert record["accounts"] > 5_000
+        assert "build_seconds" in record and "encode_seconds" in record
+
+
+class TestCli:
+    def test_worldgen_smoke_tier(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_worldgen.json"
+        assert main(["worldgen", "--tier", "smoke", "--bench-out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "Columnar worldgen" in printed
+        record = json.loads(out.read_text())
+        assert record["tier"] == "smoke"
+        assert record["accounts"] > 5_000
+
+    @needs_numpy
+    def test_worldgen_city_blocks_override(self, capsys):
+        from repro.cli import main
+
+        assert main(["worldgen", "--tier", "city", "--blocks", "2"]) == 0
+        assert "8,000" in capsys.readouterr().out

@@ -197,6 +197,65 @@ class TestDet001:
         )
         assert findings == []
 
+    def test_fires_on_module_level_numpy_rng_even_seeded(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            RNG = np.random.default_rng(42)
+            """,
+            module="repro.colgen.fake",
+        )
+        assert "DET001" in _rules(findings)
+
+    def test_fires_on_module_level_stdlib_rng(self):
+        findings = _lint(
+            """
+            import random
+
+            RNG: random.Random = random.Random(7)
+            """,
+            module="repro.colgen.fake",
+        )
+        assert "DET001" in _rules(findings)
+
+    def test_fires_on_module_level_generator_over_bitgen(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            RNG = np.random.Generator(np.random.PCG64(3))
+            """,
+            module="repro.colgen.fake",
+        )
+        assert "DET001" in _rules(findings)
+
+    def test_clean_on_module_level_seed_sequence(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            ROOT = np.random.SeedSequence(12345)
+            """,
+            module="repro.colgen.fake",
+        )
+        assert findings == []
+
+    def test_clean_on_function_local_seeded_rng(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+
+            def shard_rng(seed, shard):
+                return np.random.default_rng(
+                    np.random.SeedSequence([seed, shard])
+                )
+            """,
+            module="repro.colgen.fake",
+        )
+        assert findings == []
+
 
 # ----------------------------------------------------------------------
 # CLOCK001 — sim-clock discipline

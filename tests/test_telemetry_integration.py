@@ -23,15 +23,20 @@ from repro.telemetry import (
     Telemetry,
     replay_report,
 )
-from repro.worldgen.presets import hs1
+from repro.worldgen.presets import smoke
 from repro.worldgen.world import build_world
 
 
 @pytest.fixture(scope="module")
-def instrumented_hs1(tmp_path_factory):
-    """One instrumented enhanced+filtered HS1 attack (module-private world)."""
-    world = build_world(hs1())
-    path = tmp_path_factory.mktemp("telemetry") / "hs1.jsonl"
+def instrumented_world(tmp_path_factory):
+    """One instrumented enhanced+filtered attack on the smoke-tier world.
+
+    These assertions are scale-independent (event/effort agreement), so
+    the mid-sized smoke preset replaces the paper-scale HS1 build the
+    fixture used to pay for.
+    """
+    world = build_world(smoke())
+    path = tmp_path_factory.mktemp("telemetry") / "smoke.jsonl"
     telemetry = Telemetry(
         world.network.clock, sinks=[MemorySink(), JsonlSink(str(path))]
     )
@@ -46,19 +51,19 @@ def instrumented_hs1(tmp_path_factory):
 
 
 class TestEffortAgreement:
-    def test_request_events_match_effort_total(self, instrumented_hs1):
-        _, telemetry, result, _ = instrumented_hs1
+    def test_request_events_match_effort_total(self, instrumented_world):
+        _, telemetry, result, _ = instrumented_world
         requests = [e for e in telemetry.events if e.kind == "request"]
         assert len(requests) == result.effort.total
 
-    def test_registry_counter_matches_effort_total(self, instrumented_hs1):
-        _, telemetry, result, _ = instrumented_hs1
+    def test_registry_counter_matches_effort_total(self, instrumented_world):
+        _, telemetry, result, _ = instrumented_world
         family = telemetry.registry.get("crawl_requests_total")
         assert family is not None
         assert family.total() == result.effort.total
 
-    def test_per_category_counts_match(self, instrumented_hs1):
-        _, telemetry, result, _ = instrumented_hs1
+    def test_per_category_counts_match(self, instrumented_world):
+        _, telemetry, result, _ = instrumented_world
         report = CrawlSessionReport.from_events(telemetry.events)
         assert report.category_count(CATEGORY_SEEDS) == result.effort.seed_requests
         assert report.category_count(CATEGORY_PROFILES) == result.effort.profile_requests
@@ -67,13 +72,13 @@ class TestEffortAgreement:
             == result.effort.friend_list_requests
         )
 
-    def test_accounts_used_match(self, instrumented_hs1):
-        _, telemetry, result, _ = instrumented_hs1
+    def test_accounts_used_match(self, instrumented_world):
+        _, telemetry, result, _ = instrumented_world
         report = CrawlSessionReport.from_events(telemetry.events)
         assert report.accounts_used == result.effort.accounts_used
 
-    def test_frontend_attempts_cover_every_effort_request(self, instrumented_hs1):
-        world, telemetry, result, _ = instrumented_hs1
+    def test_frontend_attempts_cover_every_effort_request(self, instrumented_world):
+        world, telemetry, result, _ = instrumented_world
         http = [e for e in telemetry.events if e.kind == "http"]
         # request_count omits attempts rejected by auth or the limiter
         assert len(http) >= world.frontend.request_count
@@ -82,32 +87,32 @@ class TestEffortAgreement:
 
 
 class TestPhases:
-    def test_every_methodology_step_has_a_span(self, instrumented_hs1):
-        _, telemetry, _, _ = instrumented_hs1
+    def test_every_methodology_step_has_a_span(self, instrumented_world):
+        _, telemetry, _, _ = instrumented_world
         span_names = {e.fields["name"] for e in telemetry.events if e.kind == "span"}
         assert {"setup", "seeds", "core", "scoring", "candidates", "threshold"} <= span_names
 
-    def test_phase_request_totals_sum_to_effort(self, instrumented_hs1):
-        _, telemetry, result, _ = instrumented_hs1
+    def test_phase_request_totals_sum_to_effort(self, instrumented_world):
+        _, telemetry, result, _ = instrumented_world
         report = CrawlSessionReport.from_events(telemetry.events)
         assert sum(p.pages for p in report.phases.values()) == result.effort.total
 
-    def test_sim_time_attributed_to_phases(self, instrumented_hs1):
-        _, telemetry, _, _ = instrumented_hs1
+    def test_sim_time_attributed_to_phases(self, instrumented_world):
+        _, telemetry, _, _ = instrumented_world
         report = CrawlSessionReport.from_events(telemetry.events)
         crawl_phases = ("seeds", "core")
         assert all(report.phases[p].sim_seconds > 0 for p in crawl_phases)
 
 
 class TestJsonlReplay:
-    def test_replay_equals_live_report(self, instrumented_hs1):
-        _, telemetry, _, path = instrumented_hs1
+    def test_replay_equals_live_report(self, instrumented_world):
+        _, telemetry, _, path = instrumented_world
         live = CrawlSessionReport.from_events(telemetry.events)
         replayed = replay_report(path)
         assert replayed == live
 
-    def test_trace_cli_prints_matching_total(self, instrumented_hs1, capsys):
-        _, _, result, path = instrumented_hs1
+    def test_trace_cli_prints_matching_total(self, instrumented_world, capsys):
+        _, _, result, path = instrumented_world
         assert main(["trace", path]) == 0
         out = capsys.readouterr().out
         assert f"total requests (effort): {result.effort.total}" in out

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-import json
 import pathlib
 from typing import Any, Dict
+
+from repro.perf.record import write_record
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
@@ -30,11 +31,10 @@ def emit_json(name: str, record: Dict[str, Any]) -> None:
     """Save a machine-readable bench record as BENCH_<name>.json.
 
     The text/SVG exhibits are for humans; these records are the CI
-    artifact surface — stable keys, plain scalars, durations instead of
-    timestamps (CLOCK001: bench code never reads the wall clock).
+    artifact surface, validated against the :mod:`repro.perf.record`
+    schema (a malformed record fails the bench here, not the downstream
+    ``bench compare``) and written atomically so a crashed bench never
+    leaves a torn file for CI to upload.
     """
     OUTPUT_DIR.mkdir(exist_ok=True)
-    path = OUTPUT_DIR / f"BENCH_{name}.json"
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_record(record, OUTPUT_DIR / f"BENCH_{name}.json")

@@ -1,0 +1,73 @@
+"""The perf trajectory: crawl, attack and linkage throughput records.
+
+The paper's quantitative core is cost curves — crawl effort vs coverage
+(Table 3, Figures 1-2) — so the hot paths behind them get first-class
+bench records: ``BENCH_crawl.json``, ``BENCH_attack.json`` and
+``BENCH_linkage.json``, all on the paper-tier HS1 world with pinned
+seeds.  CI uploads the records and the ``bench-compare`` job gates the
+next run against them; this test asserts the records are schema-valid
+and that the deterministic (``exact``) metrics reproduce across runs.
+"""
+
+from __future__ import annotations
+
+from repro.perf.benches import bench_attack, bench_crawl, bench_linkage
+from repro.perf.profile import PhaseStat, render_phase_table
+from repro.perf.record import validate_record
+
+from _bench_utils import emit, emit_json
+
+_SEED = 101  # the hs1 preset default, pinned for the record's params
+
+
+def _phase_stats(record):
+    return [
+        PhaseStat(p["name"], p["calls"], p["wall_seconds"], p["sim_seconds"])
+        for p in record.get("phases", [])
+    ]
+
+
+def test_perf_trajectory_records():
+    crawl = bench_crawl("hs1", seed=_SEED)
+    attack = bench_attack("hs1", seed=_SEED, threshold=500)
+    linkage = bench_linkage("hs1", seed=_SEED, threshold=400)
+
+    for record in (crawl, attack, linkage):
+        assert validate_record(record) == [], validate_record(record)
+
+    assert crawl["metrics"]["pages_per_second"]["value"] > 0
+    assert crawl["metrics"]["requests"]["value"] > 0
+    assert crawl["metrics"]["sim_seconds"]["value"] > 0  # pacing on the SimClock
+    assert {p["name"] for p in crawl["phases"]} == {
+        "seeds", "profiles", "friend_lists",
+    }
+
+    assert attack["metrics"]["accounts_scored_per_second"]["value"] > 0
+    assert attack["metrics"]["candidates_scored"]["value"] > 100
+    phase_names = {p["name"] for p in attack["phases"]}
+    assert {"seeds", "core", "scoring", "threshold"} <= phase_names
+
+    assert linkage["metrics"]["students_linked"]["value"] > 30
+    assert linkage["metrics"]["pairs_per_second"]["value"] > 0
+
+    # Seeded determinism: a re-run reproduces every exact metric.
+    rerun = bench_crawl("hs1", seed=_SEED)
+    for name, entry in crawl["metrics"].items():
+        if entry["direction"] == "exact":
+            assert rerun["metrics"][name]["value"] == entry["value"], name
+
+    emit_json("crawl", crawl)
+    emit_json("attack", attack)
+    emit_json("linkage", linkage)
+
+    lines = ["Perf trajectory (paper-tier HS1, seeded)"]
+    for record in (crawl, attack, linkage):
+        lines.append("")
+        lines.append(f"[{record['benchmark']}]")
+        for name, entry in sorted(record["metrics"].items()):
+            if entry["direction"] in ("higher", "lower"):
+                lines.append(f"  {name}: {entry['value']:,.1f} {entry['unit']}")
+        stats = _phase_stats(record)
+        if stats:
+            lines.append(render_phase_table(stats))
+    emit("perf_trajectory", "\n".join(lines))

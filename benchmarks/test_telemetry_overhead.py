@@ -3,8 +3,10 @@
 Runs the enhanced+filtered HS1 attack with telemetry off and with the
 JSONL sink attached (the most expensive shipped sink: every event is
 serialised at emit time), interleaved best-of-N to shrug off scheduler
-noise, and asserts the instrumented run costs less than 10% extra wall
-time.  The comparison is written to benchmarks/output/.
+noise.  The <10% budget rides the perf comparator: the emitted
+``BENCH_telemetry_overhead.json`` declares ``max_value`` on the
+overhead metric, and the same :func:`repro.perf.compare.check_budgets`
+gate that ``bench compare`` applies in CI enforces it here.
 """
 
 from __future__ import annotations
@@ -13,11 +15,13 @@ import time
 
 from repro.core.api import run_attack
 from repro.core.profiler import ProfilerConfig
+from repro.perf.compare import check_budgets
+from repro.perf.record import metric, new_record
 from repro.telemetry import Telemetry
 from repro.worldgen.presets import hs1
 from repro.worldgen.world import build_world
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_json
 
 _ROUNDS = 3
 _MAX_OVERHEAD = 0.10
@@ -68,5 +72,23 @@ def test_telemetry_overhead_under_10_percent(tmp_path):
     ]
     emit("telemetry_overhead", "\n".join(lines))
 
+    record = new_record(
+        "telemetry_overhead",
+        params={"preset": "hs1", "rounds": _ROUNDS, "sink": "jsonl"},
+        metrics={
+            "overhead_percent": metric(
+                overhead * 100.0, "percent", "info",
+                max_value=_MAX_OVERHEAD * 100.0,
+            ),
+            "telemetry_off_seconds": metric(best_off, "seconds", "info"),
+            "telemetry_on_seconds": metric(best_on, "seconds", "info"),
+            "events": metric(events, "count", "exact"),
+            "requests": metric(requests, "count", "exact"),
+        },
+    )
+    emit_json("telemetry_overhead", record)
+
     assert events > requests > 0
-    assert overhead < _MAX_OVERHEAD
+    # The <10% gate, through the same budget check 'bench compare' runs.
+    over_budget = check_budgets(record)
+    assert not over_budget, [item.note for item in over_budget]

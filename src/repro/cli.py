@@ -12,6 +12,8 @@ Examples
     python -m repro coppaless --preset hs1
     python -m repro countermeasure --preset hs1
     python -m repro worldinfo --preset hs2
+    python -m repro bench run --all
+    python -m repro bench compare old-records/ benchmarks/output
 
 Every subcommand builds the requested synthetic world (deterministic
 per ``--seed``), runs the corresponding experiment through the
@@ -45,6 +47,7 @@ from repro.core.evaluation import (
 from repro.core.profiler import ProfilerConfig
 from repro.lint.cli import add_lint_arguments, run_lint
 from repro.osn.policy import policy_by_name
+from repro.perf.cli import add_bench_arguments, run_bench
 from repro.telemetry import Telemetry, replay_report
 from repro.worldgen.export import export_world_json
 from repro.worldgen.presets import PRESETS, preset
@@ -464,6 +467,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable bench record (BENCH_worldgen.json)",
     )
     worldgen.set_defaults(func=cmd_worldgen)
+
+    bench = sub.add_parser(
+        "bench",
+        help="perf trajectory: run benchmarks, compare records, gate CI",
+    )
+    add_bench_arguments(bench)
+    bench.set_defaults(func=run_bench)
 
     lint = sub.add_parser(
         "lint",

@@ -11,22 +11,18 @@ counters, never timestamps.
 
 from __future__ import annotations
 
-import json
 import platform
-import resource
-import sys
 from typing import Any, Dict, Optional
+
+# Shared with the rest of the perf trajectory; re-exported here so
+# existing ``from repro.colgen.bench import peak_rss_bytes`` callers
+# keep working.
+from repro.perf.record import _RSS_UNIT, atomic_write_json, peak_rss_bytes
 
 from .backend import HAS_NUMPY
 from .generate import generate
 
-#: ru_maxrss is kibibytes on Linux, bytes on macOS.
-_RSS_UNIT = 1 if sys.platform == "darwin" else 1024
-
-
-def peak_rss_bytes() -> int:
-    """High-water-mark resident set size of this process, in bytes."""
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * _RSS_UNIT
+__all__ = ["_RSS_UNIT", "bench_worldgen", "peak_rss_bytes", "write_bench_json"]
 
 
 def bench_worldgen(
@@ -67,6 +63,5 @@ def bench_worldgen(
 
 
 def write_bench_json(record: Dict[str, Any], path: str) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write the flat worldgen record (atomic, like every BENCH file)."""
+    atomic_write_json(record, path)

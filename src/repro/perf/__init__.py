@@ -1,0 +1,75 @@
+"""repro.perf — the repo-wide performance trajectory.
+
+Turns ad-hoc bench JSON into a measured, gateable trend:
+
+* :mod:`repro.perf.record` — the versioned ``BENCH_*.json`` schema
+  (stable keys, explicit units/directions, environment fingerprint,
+  durations only) plus the shared :func:`peak_rss_bytes`;
+* :mod:`repro.perf.benches` — deterministic SimClock benchmarks for
+  the crawl, attack and linkage hot paths (imported lazily by the CLI;
+  import it explicitly when driving benches from code);
+* :mod:`repro.perf.profile` — per-phase hotspot aggregation over
+  telemetry spans and an opt-in cProfile breakdown;
+* :mod:`repro.perf.compare` — the regression gate behind
+  ``python -m repro bench compare`` and CI's trajectory job.
+"""
+
+from .compare import (
+    ComparisonItem,
+    ComparisonReport,
+    DEFAULT_TOLERANCE_PCT,
+    RecordSetError,
+    check_budgets,
+    compare_sets,
+    load_record_set,
+    render_markdown,
+    render_text,
+)
+from .profile import (
+    PhaseStat,
+    aggregate_phases,
+    phases_json,
+    profile_call,
+    render_phase_table,
+)
+from .record import (
+    BenchRecordError,
+    SCHEMA_VERSION,
+    atomic_write_json,
+    ensure_valid,
+    environment_fingerprint,
+    load_record,
+    metric,
+    new_record,
+    peak_rss_bytes,
+    validate_record,
+    write_record,
+)
+
+__all__ = [
+    "BenchRecordError",
+    "ComparisonItem",
+    "ComparisonReport",
+    "DEFAULT_TOLERANCE_PCT",
+    "PhaseStat",
+    "RecordSetError",
+    "SCHEMA_VERSION",
+    "aggregate_phases",
+    "atomic_write_json",
+    "check_budgets",
+    "compare_sets",
+    "ensure_valid",
+    "environment_fingerprint",
+    "load_record",
+    "load_record_set",
+    "metric",
+    "new_record",
+    "peak_rss_bytes",
+    "phases_json",
+    "profile_call",
+    "render_markdown",
+    "render_phase_table",
+    "render_text",
+    "validate_record",
+    "write_record",
+]

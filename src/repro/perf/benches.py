@@ -1,0 +1,294 @@
+"""Deterministic benchmarks for the three unmeasured hot paths.
+
+Each runner builds a seeded world, drives the pipeline through the same
+code the experiments use, and returns a schema-shaped bench record
+(:mod:`repro.perf.record`):
+
+* :func:`bench_crawl` — the raw page-serving loop: seed harvest, every
+  seed profile, every seed friend list.  Pages/sec is the number the
+  async crawl engine (ROADMAP item 2) has to beat; the sim-vs-wall
+  split shows how much of a crawl is politeness budget vs compute.
+* :func:`bench_attack` — :class:`~repro.core.profiler.HighSchoolProfiler`
+  end to end (enhanced + filtering), scored accounts per second, with
+  the tracer's per-phase hotspot table embedded.
+* :func:`bench_linkage` — the data-broker address matcher over the
+  extended profiles, candidate address pairs per second.
+
+Everything runs on the SimClock; records carry durations only.  Counter
+metrics are declared ``exact`` — a seeded re-run must reproduce them
+bit-for-bit, and the comparator reports any drift.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.api import make_client, run_attack
+from repro.core.extension import build_extended_profiles
+from repro.core.linkage import link_home_addresses
+from repro.core.profiler import ProfilerConfig
+from repro.telemetry.runtime import Telemetry
+from repro.worldgen.presets import preset
+from repro.worldgen.records import build_voter_registry
+from repro.worldgen.world import World, build_world
+
+from .profile import aggregate_phases, phases_json, profile_call
+from .record import metric, new_record, peak_rss_bytes
+
+#: Noise band for wall-clock throughput on shared runners.  Kept under
+#: 20% so a one-fifth throughput loss — the kind of step a bad cache or
+#: an accidental O(n^2) introduces — always gates.
+THROUGHPUT_TOLERANCE_PCT = 15.0
+#: Noise band for peak-RSS (allocator and interpreter jitter).
+RSS_TOLERANCE_PCT = 20.0
+
+
+def _build(preset_name: str, seed: Optional[int]) -> World:
+    return build_world(preset(preset_name, seed))
+
+
+def _common_metrics(
+    wall: float, sim: float, requests: int
+) -> Dict[str, Dict[str, Any]]:
+    return {
+        "requests": metric(requests, "count", "exact"),
+        "wall_seconds": metric(wall, "seconds", "info"),
+        "sim_seconds": metric(sim, "sim_seconds", "exact"),
+        "sim_to_wall_ratio": metric(sim / wall, "ratio", "info"),
+        "peak_rss_bytes": metric(
+            peak_rss_bytes(), "bytes", "lower", tolerance_pct=RSS_TOLERANCE_PCT
+        ),
+    }
+
+
+def _maybe_profiled(
+    fn: Callable[[], Any], profile_top: int
+) -> "tuple[Any, Optional[list]]":
+    if profile_top > 0:
+        return profile_call(fn, top_n=profile_top)
+    return fn(), None
+
+
+def bench_crawl(
+    preset_name: str = "hs1",
+    seed: Optional[int] = None,
+    accounts: int = 2,
+    profile_top: int = 0,
+) -> Dict[str, Any]:
+    """Full stranger-level crawl of one school: seeds, profiles, lists."""
+    world = _build(preset_name, seed)
+    telemetry = Telemetry(world.clock)
+    client = make_client(world, accounts, telemetry=telemetry)
+    school_id = world.school().school_id
+
+    def crawl() -> Dict[int, str]:
+        with telemetry.span("seeds"):
+            seeds = client.collect_seeds(school_id)
+        with telemetry.span("profiles"):
+            for uid in sorted(seeds):
+                client.fetch_profile(uid)
+        with telemetry.span("friend_lists"):
+            for uid in sorted(seeds):
+                client.fetch_friend_list(uid)
+        return seeds
+
+    sim_start = world.clock.seconds()
+    wall_start = time.perf_counter()
+    seeds, profile = _maybe_profiled(crawl, profile_top)
+    wall = time.perf_counter() - wall_start
+    sim = world.clock.seconds() - sim_start
+    telemetry.close()
+
+    requests = client.effort_report().total
+    metrics = {
+        "pages_per_second": metric(
+            requests / wall, "pages/sec", "higher",
+            tolerance_pct=THROUGHPUT_TOLERANCE_PCT,
+        ),
+        "seeds": metric(len(seeds), "count", "exact"),
+        **_common_metrics(wall, sim, requests),
+    }
+    return new_record(
+        "crawl",
+        params={
+            "preset": preset_name,
+            "seed": world.config.seed,
+            "accounts": accounts,
+        },
+        metrics=metrics,
+        phases=phases_json(aggregate_phases(telemetry.tracer.finished)),
+        profile=profile,
+    )
+
+
+def bench_attack(
+    preset_name: str = "hs1",
+    seed: Optional[int] = None,
+    accounts: int = 2,
+    threshold: int = 500,
+    profile_top: int = 0,
+) -> Dict[str, Any]:
+    """The profiling methodology end to end (enhanced + filtering)."""
+    world = _build(preset_name, seed)
+    telemetry = Telemetry(world.clock)
+    config = ProfilerConfig(threshold=threshold, enhanced=True, filtering=True)
+
+    sim_start = world.clock.seconds()
+    wall_start = time.perf_counter()
+    result, profile = _maybe_profiled(
+        lambda: run_attack(
+            world, accounts=accounts, config=config, telemetry=telemetry
+        ),
+        profile_top,
+    )
+    wall = time.perf_counter() - wall_start
+    sim = world.clock.seconds() - sim_start
+    telemetry.close()
+
+    metrics = {
+        "accounts_scored_per_second": metric(
+            len(result.scores) / wall, "accounts/sec", "higher",
+            tolerance_pct=THROUGHPUT_TOLERANCE_PCT,
+        ),
+        "candidates_scored": metric(len(result.scores), "count", "exact"),
+        "core_size": metric(result.extended_core_size, "count", "exact"),
+        "ranking_length": metric(len(result.ranking), "count", "exact"),
+        **_common_metrics(wall, sim, result.effort.total),
+    }
+    return new_record(
+        "attack",
+        params={
+            "preset": preset_name,
+            "seed": world.config.seed,
+            "accounts": accounts,
+            "threshold": threshold,
+            "variant": "enhanced+filtering",
+        },
+        metrics=metrics,
+        phases=phases_json(aggregate_phases(telemetry.tracer.finished)),
+        profile=profile,
+    )
+
+
+def bench_linkage(
+    preset_name: str = "hs1",
+    seed: Optional[int] = None,
+    accounts: int = 2,
+    threshold: int = 400,
+    profile_top: int = 0,
+) -> Dict[str, Any]:
+    """Data-broker address linkage over the extended profiles."""
+    world = _build(preset_name, seed)
+    telemetry = Telemetry(world.clock)
+    client = make_client(world, accounts, telemetry=telemetry)
+
+    with telemetry.span("attack"):
+        result = run_attack(
+            world,
+            accounts=accounts,
+            config=ProfilerConfig(threshold=threshold, enhanced=True, filtering=True),
+            client=client,
+        )
+    with telemetry.span("extend"):
+        extended = build_extended_profiles(result, client, t=threshold)
+    with telemetry.span("registry"):
+        registry = build_voter_registry(
+            world.population,
+            world.config.observation_year,
+            seed=world.config.seed,
+        )
+
+    name_cache: Dict[int, Optional[str]] = {}
+
+    def friend_name_of(uid: int) -> Optional[str]:
+        if uid not in name_cache:
+            view = result.profiles.get(uid) or client.fetch_profile(uid)
+            name_cache[uid] = view.name if view else None
+        return name_cache[uid]
+
+    def link() -> Dict[int, list]:
+        with telemetry.span("link"):
+            return link_home_addresses(extended, registry, friend_name_of)
+
+    wall_start = time.perf_counter()
+    linked, profile = _maybe_profiled(link, profile_top)
+    link_wall = time.perf_counter() - wall_start
+    telemetry.close()
+
+    pairs = sum(len(candidates) for candidates in linked.values())
+    metrics = {
+        "pairs_per_second": metric(
+            pairs / link_wall, "pairs/sec", "higher",
+            tolerance_pct=THROUGHPUT_TOLERANCE_PCT,
+        ),
+        "candidate_pairs": metric(pairs, "count", "exact"),
+        "students_linked": metric(len(linked), "count", "exact"),
+        "extended_profiles": metric(len(extended), "count", "exact"),
+        "registered_voters": metric(len(registry), "count", "exact"),
+        "link_wall_seconds": metric(link_wall, "seconds", "info"),
+        "peak_rss_bytes": metric(
+            peak_rss_bytes(), "bytes", "lower", tolerance_pct=RSS_TOLERANCE_PCT
+        ),
+    }
+    return new_record(
+        "linkage",
+        params={
+            "preset": preset_name,
+            "seed": world.config.seed,
+            "accounts": accounts,
+            "threshold": threshold,
+        },
+        metrics=metrics,
+        phases=phases_json(aggregate_phases(telemetry.tracer.finished)),
+        profile=profile,
+    )
+
+
+def bench_worldgen_record(
+    tier_name: str = "smoke", seed: int = 1, profile_top: int = 0
+) -> Dict[str, Any]:
+    """Wrap :func:`repro.colgen.bench.bench_worldgen` in the schema.
+
+    The flat colgen record rides along under ``tier`` (byte-compatible
+    keys for the CI city job); the comparable numbers are lifted into
+    ``metrics``.
+    """
+    from repro.colgen.bench import bench_worldgen
+
+    flat, profile = _maybe_profiled(
+        lambda: bench_worldgen(tier_name, seed), profile_top
+    )
+    metrics = {
+        "accounts_per_second": metric(
+            flat["accounts_per_second"], "accounts/sec", "higher",
+            tolerance_pct=THROUGHPUT_TOLERANCE_PCT,
+        ),
+        "accounts": metric(flat["accounts"], "count", "exact"),
+        "edges": metric(flat["edges"], "count", "exact"),
+        "column_bytes": metric(flat["column_nbytes"], "bytes", "lower",
+                               tolerance_pct=RSS_TOLERANCE_PCT),
+        "graph_bytes": metric(flat["graph_nbytes"], "bytes", "lower",
+                              tolerance_pct=RSS_TOLERANCE_PCT),
+        "wall_seconds": metric(flat["wall_seconds"], "seconds", "info"),
+        "peak_rss_bytes": metric(
+            flat["peak_rss_bytes"], "bytes", "lower",
+            tolerance_pct=RSS_TOLERANCE_PCT,
+        ),
+    }
+    return new_record(
+        "worldgen",
+        params={"tier": tier_name, "seed": seed, "backend": flat["backend"]},
+        metrics=metrics,
+        profile=profile,
+        tier=flat,
+    )
+
+
+#: name -> runner, the ``bench run`` registry.
+BENCH_RUNNERS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "crawl": bench_crawl,
+    "attack": bench_attack,
+    "linkage": bench_linkage,
+    "worldgen": bench_worldgen_record,
+}

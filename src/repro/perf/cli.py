@@ -1,0 +1,190 @@
+"""``python -m repro bench run|compare|report`` — the perf-trajectory CLI.
+
+``run`` executes the registered benchmarks and writes one schema-valid
+``BENCH_<name>.json`` per bench; ``compare`` gates a new record set
+against an old one (exit 1 on regression, 2 on infrastructure
+failures); ``report`` renders the same comparison as a markdown trend
+table without gating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Any, Dict
+
+from .compare import (
+    DEFAULT_TOLERANCE_PCT,
+    RecordSetError,
+    compare_sets,
+    load_record_set,
+    render_markdown,
+    render_text,
+)
+from .record import write_record
+
+#: Where ``bench run`` drops records by default (the CI artifact dir).
+DEFAULT_OUTPUT_DIR = os.path.join("benchmarks", "output")
+
+#: Benches ``bench run`` executes when asked for ``--all`` (worldgen has
+#: its own CLI path and tier ladder; ``all`` here covers the attack-side
+#: trajectory the paper's cost curves are about).
+DEFAULT_BENCHES = ("crawl", "attack", "linkage")
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``run``/``compare``/``report`` sub-subcommands."""
+    sub = parser.add_subparsers(dest="bench_command", required=True)
+
+    run = sub.add_parser("run", help="run benchmarks, write BENCH_*.json")
+    run.add_argument(
+        "--bench",
+        action="append",
+        choices=("crawl", "attack", "linkage", "worldgen"),
+        default=None,
+        help="which benchmark to run (repeatable; default: all three hot paths)",
+    )
+    run.add_argument(
+        "--all",
+        action="store_true",
+        help="run every attack-side benchmark (crawl, attack, linkage)",
+    )
+    run.add_argument("--preset", default="hs1", help="world preset (default hs1)")
+    run.add_argument("--seed", type=int, default=None, help="world seed override")
+    run.add_argument("--accounts", type=int, default=2, help="fake crawl accounts")
+    run.add_argument(
+        "--tier", default="smoke", help="worldgen tier (worldgen bench only)"
+    )
+    run.add_argument(
+        "--profile-top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="embed a cProfile top-N function breakdown (skews throughput)",
+    )
+    run.add_argument(
+        "--out",
+        default=DEFAULT_OUTPUT_DIR,
+        metavar="DIR",
+        help=f"record output directory (default {DEFAULT_OUTPUT_DIR})",
+    )
+    run.set_defaults(bench_func=cmd_run)
+
+    compare = sub.add_parser(
+        "compare", help="gate a new record set against an old one"
+    )
+    _add_compare_arguments(compare)
+    compare.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (bootstrap runs)",
+    )
+    compare.add_argument(
+        "--verbose", action="store_true", help="also list in-band metrics"
+    )
+    compare.set_defaults(bench_func=cmd_compare)
+
+    report = sub.add_parser(
+        "report", help="render a markdown trend report (never gates)"
+    )
+    _add_compare_arguments(report)
+    report.add_argument(
+        "--out", default=None, metavar="PATH", help="also write the markdown here"
+    )
+    report.set_defaults(bench_func=cmd_report)
+
+
+def _add_compare_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("old", help="old record set (directory or file)")
+    parser.add_argument("new", help="new record set (directory or file)")
+    parser.add_argument(
+        "--default-tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE_PCT,
+        metavar="PCT",
+        help="noise band for metrics that do not declare their own "
+        f"(default {DEFAULT_TOLERANCE_PCT:g}%%)",
+    )
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    """Dispatch target registered on the ``bench`` subparser."""
+    return int(args.bench_func(args))
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from .benches import BENCH_RUNNERS  # heavy import (worldgen/core), defer
+
+    names = list(args.bench or ())
+    if args.all or not names:
+        names = [n for n in DEFAULT_BENCHES if n not in names] + names
+        names.sort(key=("crawl", "attack", "linkage", "worldgen").index)
+    os.makedirs(args.out, exist_ok=True)
+    for name in names:
+        runner = BENCH_RUNNERS[name]
+        kwargs: Dict[str, Any] = {"profile_top": args.profile_top}
+        if name == "worldgen":
+            kwargs.update(tier_name=args.tier, seed=args.seed or 1)
+        else:
+            kwargs.update(
+                preset_name=args.preset, seed=args.seed, accounts=args.accounts
+            )
+        record = runner(**kwargs)
+        path = os.path.join(args.out, f"BENCH_{name}.json")
+        write_record(record, path)
+        summary = ", ".join(
+            f"{metric_name}={entry['value']:g} {entry['unit']}"
+            for metric_name, entry in sorted(record["metrics"].items())
+            if entry["direction"] in ("higher", "lower")
+        )
+        print(f"{name}: {summary}")
+        print(f"  -> {path}")
+    return 0
+
+
+def _load_both(args: argparse.Namespace):
+    old = load_record_set(args.old)
+    new = load_record_set(args.new)
+    if not new:
+        raise RecordSetError(f"new record set {args.new!r} is empty")
+    return old, new
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        old, new = _load_both(args)
+        report = compare_sets(
+            old, new, default_tolerance_pct=args.default_tolerance
+        )
+    except RecordSetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_text(report, verbose=args.verbose))
+    if report.ok:
+        return 0
+    if args.warn_only:
+        print("warn-only: regressions reported but not gating", file=sys.stderr)
+        return 0
+    return 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    try:
+        old, new = _load_both(args)
+        report = compare_sets(
+            old, new, default_tolerance_pct=args.default_tolerance
+        )
+    except RecordSetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    markdown = render_markdown(report)
+    print(markdown)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(markdown + "\n")
+    return 0

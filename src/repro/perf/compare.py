@@ -1,0 +1,393 @@
+"""Compare two bench-record sets and gate CI on regressions.
+
+A record *set* is a directory of ``BENCH_*.json`` files (or one file);
+records pair up by file stem.  For each paired metric the comparator
+applies the metric's own noise band (``tolerance_pct``, falling back to
+a caller default):
+
+* ``higher`` metrics (throughput) regress when the new value drops
+  below ``old * (1 - tol)``;
+* ``lower`` metrics (RSS, bytes) regress when the new value climbs
+  above ``old * (1 + tol)``;
+* ``exact`` metrics (seeded request/entity counts) must match
+  bit-for-bit — drift is reported as *changed*, a warning rather than
+  a gate, because an intentional algorithm change legitimately moves
+  them and the next trajectory point re-baselines;
+* ``info`` metrics never gate.
+
+Independently of the old set, any metric carrying ``max_value`` is an
+absolute budget (e.g. telemetry overhead < 10%) and fails when the new
+value exceeds it.
+
+Gating outcomes: a lost benchmark or lost metric fails (measurement
+coverage must not silently shrink), a schema-version mismatch skips the
+pair with a warning (first run after a schema bump must not brick CI),
+and ``--warn-only`` downgrades every failure for bootstrap runs.
+Exit codes: 0 clean, 1 regression, 2 infrastructure (unreadable or
+schema-invalid new records).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .record import SCHEMA_VERSION, load_record, validate_record
+
+#: Fallback noise band when a metric does not declare tolerance_pct.
+DEFAULT_TOLERANCE_PCT = 20.0
+
+#: Item kinds that gate (fail the compare) vs. merely inform.
+GATING_KINDS = frozenset({"regression", "budget", "missing-metric", "missing-benchmark"})
+
+
+class RecordSetError(ValueError):
+    """A record set could not be loaded/validated (infrastructure)."""
+
+
+@dataclass(frozen=True)
+class ComparisonItem:
+    """One compared metric (or one set-level event)."""
+
+    benchmark: str
+    kind: str  # ok | improvement | regression | changed | budget |
+    #          # missing-metric | missing-benchmark | new-metric |
+    #          # new-benchmark | skipped-version
+    metric: str = ""
+    unit: str = ""
+    direction: str = ""
+    old: Optional[float] = None
+    new: Optional[float] = None
+    delta_pct: Optional[float] = None
+    tolerance_pct: Optional[float] = None
+    note: str = ""
+
+    @property
+    def gates(self) -> bool:
+        return self.kind in GATING_KINDS
+
+
+@dataclass
+class ComparisonReport:
+    """Everything one compare produced, renderable and gateable."""
+
+    items: List[ComparisonItem] = field(default_factory=list)
+
+    def by_kind(self, *kinds: str) -> List[ComparisonItem]:
+        return [item for item in self.items if item.kind in kinds]
+
+    @property
+    def regressions(self) -> List[ComparisonItem]:
+        return [item for item in self.items if item.gates]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def load_record_set(path: str) -> Dict[str, Dict[str, Any]]:
+    """Load ``BENCH_*.json`` records under ``path``, keyed by stem.
+
+    ``path`` may be a directory or a single record file.  Unreadable
+    JSON raises :class:`RecordSetError`; schema validity is judged
+    per-pairing so old-format artifacts degrade to warnings.
+    """
+    if os.path.isdir(path):
+        files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+    elif os.path.exists(path):
+        files = [path]
+    else:
+        raise RecordSetError(f"no such record set: {path!r}")
+    records: Dict[str, Dict[str, Any]] = {}
+    for file_path in files:
+        stem = os.path.basename(file_path)
+        if stem.startswith("BENCH_"):
+            stem = stem[len("BENCH_"):]
+        if stem.endswith(".json"):
+            stem = stem[: -len(".json")]
+        try:
+            records[stem] = load_record(file_path)
+        except ValueError as exc:
+            raise RecordSetError(f"cannot load {file_path!r}: {exc}") from exc
+    return records
+
+
+def check_budgets(record: Mapping[str, Any], benchmark: str = "") -> List[ComparisonItem]:
+    """Absolute ``max_value`` budgets of one record (no old set needed)."""
+    name = benchmark or str(record.get("benchmark", "?"))
+    items: List[ComparisonItem] = []
+    metrics = record.get("metrics")
+    if not isinstance(metrics, Mapping):
+        return items
+    for metric_name, entry in sorted(metrics.items()):
+        if not isinstance(entry, Mapping) or "max_value" not in entry:
+            continue
+        value, ceiling = entry.get("value"), entry["max_value"]
+        if isinstance(value, (int, float)) and value > ceiling:
+            items.append(
+                ComparisonItem(
+                    benchmark=name,
+                    kind="budget",
+                    metric=metric_name,
+                    unit=str(entry.get("unit", "")),
+                    direction=str(entry.get("direction", "")),
+                    new=float(value),
+                    note=f"value {value:g} exceeds budget {ceiling:g}",
+                )
+            )
+    return items
+
+
+def _classify(
+    direction: str,
+    old: float,
+    new: float,
+    tolerance_pct: float,
+) -> Tuple[str, str]:
+    """(kind, note) for one paired metric value."""
+    if direction == "info":
+        return "ok", ""
+    if direction == "exact":
+        if old == new:
+            return "ok", ""
+        return "changed", (
+            "seeded value drifted; expected bit-for-bit reproducibility "
+            "(re-baseline if the change is intentional)"
+        )
+    if old == 0.0:
+        return ("ok", "") if new == 0.0 else ("changed", "old value was zero")
+    band = tolerance_pct / 100.0
+    if direction == "higher":
+        if new < old * (1.0 - band):
+            return "regression", f"dropped past the -{tolerance_pct:g}% band"
+        if new > old * (1.0 + band):
+            return "improvement", ""
+        return "ok", ""
+    # direction == "lower"
+    if new > old * (1.0 + band):
+        return "regression", f"grew past the +{tolerance_pct:g}% band"
+    if new < old * (1.0 - band):
+        return "improvement", ""
+    return "ok", ""
+
+
+def _compare_pair(
+    name: str,
+    old: Mapping[str, Any],
+    new: Mapping[str, Any],
+    default_tolerance_pct: float,
+) -> List[ComparisonItem]:
+    items: List[ComparisonItem] = []
+    old_version = old.get("schema_version")
+    new_version = new.get("schema_version")
+    if old_version != SCHEMA_VERSION or new_version != SCHEMA_VERSION:
+        return [
+            ComparisonItem(
+                benchmark=name,
+                kind="skipped-version",
+                note=(
+                    f"schema versions old={old_version!r} new={new_version!r} "
+                    f"(comparator speaks {SCHEMA_VERSION}); pair skipped"
+                ),
+            )
+        ]
+    old_metrics = old.get("metrics") or {}
+    new_metrics = new.get("metrics") or {}
+    for metric_name in sorted(old_metrics):
+        old_entry = old_metrics[metric_name]
+        if metric_name not in new_metrics:
+            items.append(
+                ComparisonItem(
+                    benchmark=name,
+                    kind="missing-metric",
+                    metric=metric_name,
+                    unit=str(old_entry.get("unit", "")),
+                    old=old_entry.get("value"),
+                    note="metric disappeared from the new record",
+                )
+            )
+            continue
+        new_entry = new_metrics[metric_name]
+        direction = str(new_entry.get("direction", "info"))
+        tolerance = new_entry.get("tolerance_pct", default_tolerance_pct)
+        old_value = float(old_entry["value"])
+        new_value = float(new_entry["value"])
+        kind, note = _classify(direction, old_value, new_value, float(tolerance))
+        delta = (
+            (new_value - old_value) / old_value * 100.0 if old_value else None
+        )
+        items.append(
+            ComparisonItem(
+                benchmark=name,
+                kind=kind,
+                metric=metric_name,
+                unit=str(new_entry.get("unit", "")),
+                direction=direction,
+                old=old_value,
+                new=new_value,
+                delta_pct=delta,
+                tolerance_pct=float(tolerance) if direction in ("higher", "lower") else None,
+                note=note,
+            )
+        )
+    for metric_name in sorted(set(new_metrics) - set(old_metrics)):
+        items.append(
+            ComparisonItem(
+                benchmark=name,
+                kind="new-metric",
+                metric=metric_name,
+                new=new_metrics[metric_name].get("value"),
+                unit=str(new_metrics[metric_name].get("unit", "")),
+            )
+        )
+    items.extend(check_budgets(new, benchmark=name))
+    return items
+
+
+def compare_sets(
+    old: Mapping[str, Mapping[str, Any]],
+    new: Mapping[str, Mapping[str, Any]],
+    default_tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+) -> ComparisonReport:
+    """Compare two loaded record sets into a :class:`ComparisonReport`.
+
+    Every *new* record must be schema-valid (:class:`RecordSetError`
+    otherwise — our own bench wrote garbage); invalid or old-version
+    *old* records degrade to per-pair skips.
+    """
+    for name, record in sorted(new.items()):
+        problems = validate_record(record)
+        if problems:
+            raise RecordSetError(
+                f"new record {name!r} is schema-invalid: {'; '.join(problems)}"
+            )
+    report = ComparisonReport()
+    for name in sorted(old):
+        if name not in new:
+            report.items.append(
+                ComparisonItem(
+                    benchmark=name,
+                    kind="missing-benchmark",
+                    note="benchmark disappeared from the new set",
+                )
+            )
+            continue
+        old_record = old[name]
+        if validate_record(old_record):
+            report.items.append(
+                ComparisonItem(
+                    benchmark=name,
+                    kind="skipped-version",
+                    note="old record predates the schema; pair skipped",
+                )
+            )
+            report.items.extend(check_budgets(new[name], benchmark=name))
+            continue
+        report.items.extend(
+            _compare_pair(name, old_record, new[name], default_tolerance_pct)
+        )
+    for name in sorted(set(new) - set(old)):
+        report.items.append(
+            ComparisonItem(benchmark=name, kind="new-benchmark")
+        )
+        report.items.extend(check_budgets(new[name], benchmark=name))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+_KIND_LABELS = {
+    "ok": "ok",
+    "improvement": "improved",
+    "regression": "REGRESSION",
+    "budget": "OVER BUDGET",
+    "changed": "changed (exact)",
+    "missing-metric": "MISSING METRIC",
+    "missing-benchmark": "MISSING BENCHMARK",
+    "new-metric": "new metric",
+    "new-benchmark": "new benchmark",
+    "skipped-version": "skipped (schema)",
+}
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.4g}"
+
+
+def render_text(report: ComparisonReport, verbose: bool = False) -> str:
+    """Plain-text summary; quiet metrics are folded unless verbose."""
+    lines: List[str] = []
+    for item in report.items:
+        quiet = item.kind in ("ok", "new-metric") and not verbose
+        if quiet:
+            continue
+        delta = f" ({item.delta_pct:+.1f}%)" if item.delta_pct is not None else ""
+        metric_part = f".{item.metric}" if item.metric else ""
+        lines.append(
+            f"{_KIND_LABELS[item.kind]:>18}  {item.benchmark}{metric_part}: "
+            f"{_fmt(item.old)} -> {_fmt(item.new)}{delta}"
+            + (f"  [{item.note}]" if item.note else "")
+        )
+    compared = len(report.by_kind("ok", "improvement", "regression", "changed"))
+    lines.append(
+        f"compared {compared} metrics; "
+        f"{len(report.regressions)} gating failure(s), "
+        f"{len(report.by_kind('changed'))} exact-value change(s), "
+        f"{len(report.by_kind('skipped-version'))} pair(s) skipped"
+    )
+    return "\n".join(lines)
+
+
+def render_markdown(report: ComparisonReport, title: str = "Perf trajectory") -> str:
+    """Markdown trend report (the ``bench report`` output)."""
+    lines = [f"# {title}", ""]
+    rows = [
+        item
+        for item in report.items
+        if item.kind in ("ok", "improvement", "regression", "changed", "budget")
+    ]
+    if rows:
+        lines += [
+            "| benchmark | metric | old | new | Δ% | band | status |",
+            "|---|---|---:|---:|---:|---:|---|",
+        ]
+        for item in rows:
+            delta = f"{item.delta_pct:+.1f}%" if item.delta_pct is not None else "-"
+            band = (
+                f"±{item.tolerance_pct:g}%" if item.tolerance_pct is not None else "-"
+            )
+            lines.append(
+                f"| {item.benchmark} | {item.metric} ({item.unit}) "
+                f"| {_fmt(item.old)} | {_fmt(item.new)} | {delta} | {band} "
+                f"| {_KIND_LABELS[item.kind]} |"
+            )
+        lines.append("")
+    events = [
+        item
+        for item in report.items
+        if item.kind
+        in ("missing-metric", "missing-benchmark", "new-benchmark", "skipped-version")
+    ]
+    if events:
+        lines.append("## Set-level events")
+        lines.append("")
+        for item in events:
+            metric_part = f".{item.metric}" if item.metric else ""
+            lines.append(
+                f"- **{_KIND_LABELS[item.kind]}** `{item.benchmark}{metric_part}`"
+                + (f" — {item.note}" if item.note else "")
+            )
+        lines.append("")
+    verdict = "no regressions" if report.ok else (
+        f"{len(report.regressions)} gating failure(s)"
+    )
+    lines.append(f"**Verdict:** {verdict}.")
+    return "\n".join(lines)

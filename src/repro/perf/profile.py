@@ -1,0 +1,116 @@
+"""Phase and function profiling for bench records.
+
+The attack pipeline already opens :mod:`repro.telemetry.tracing` spans
+around its phases (seeds, core, scoring, candidates, threshold); this
+module folds those finished spans into the per-phase hotspot table a
+bench record embeds — wall seconds (compute cost) next to sim seconds
+(the paper's crawl-duration unit), per phase.
+
+For deeper digs, :func:`profile_call` wraps any callable in
+``cProfile`` and returns a JSON-serialisable top-N function breakdown.
+Opt-in only: profiling skews throughput, so gated metrics should come
+from unprofiled runs.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Tuple, TypeVar
+
+from repro.telemetry.tracing import SpanRecord
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Aggregated cost of one named pipeline phase."""
+
+    name: str
+    calls: int
+    wall_seconds: float
+    sim_seconds: float
+
+
+def aggregate_phases(spans: Iterable[SpanRecord]) -> List[PhaseStat]:
+    """Fold finished spans into per-phase totals, hottest (wall) first."""
+    calls: Dict[str, int] = {}
+    wall: Dict[str, float] = {}
+    sim: Dict[str, float] = {}
+    for span in spans:
+        calls[span.name] = calls.get(span.name, 0) + 1
+        wall[span.name] = wall.get(span.name, 0.0) + span.wall_seconds
+        sim[span.name] = sim.get(span.name, 0.0) + span.sim_seconds
+    stats = [
+        PhaseStat(name=name, calls=calls[name], wall_seconds=wall[name], sim_seconds=sim[name])
+        for name in calls
+    ]
+    stats.sort(key=lambda s: (-s.wall_seconds, s.name))
+    return stats
+
+
+def phases_json(stats: Iterable[PhaseStat]) -> List[Dict[str, Any]]:
+    """The ``phases`` section of a bench record."""
+    return [
+        {
+            "name": stat.name,
+            "calls": stat.calls,
+            "wall_seconds": stat.wall_seconds,
+            "sim_seconds": stat.sim_seconds,
+        }
+        for stat in stats
+    ]
+
+
+def render_phase_table(stats: Iterable[PhaseStat]) -> str:
+    """Human-readable hotspot table for text exhibits."""
+    from repro.analysis.tables import ascii_table
+
+    rows = [
+        (
+            stat.name,
+            stat.calls,
+            f"{stat.wall_seconds * 1000:.1f}",
+            f"{stat.sim_seconds:.0f}",
+        )
+        for stat in stats
+    ]
+    return ascii_table(
+        ("phase", "calls", "wall ms", "sim s"),
+        rows,
+        title="Per-phase hotspots (wall = compute, sim = crawl budget)",
+    )
+
+
+def profile_call(
+    fn: Callable[[], T], top_n: int = 20
+) -> Tuple[T, List[Dict[str, Any]]]:
+    """Run ``fn`` under cProfile; return its result and the top-N
+    functions by cumulative time, JSON-shaped for the record's
+    ``profile`` section."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    entries: List[Dict[str, Any]] = []
+    for (filename, line, function), (cc, nc, tottime, cumtime, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        del cc
+        entries.append(
+            {
+                "function": function,
+                "file": filename,
+                "line": line,
+                "calls": nc,
+                "tottime_seconds": tottime,
+                "cumtime_seconds": cumtime,
+            }
+        )
+    entries.sort(key=lambda e: (-e["cumtime_seconds"], e["file"], e["line"]))
+    return result, entries[:top_n]

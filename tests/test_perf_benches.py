@@ -1,0 +1,99 @@
+"""The bench runners: schema-valid, deterministic, CLI-drivable.
+
+Runs on the ``tiny`` preset — the point here is record shape and seeded
+reproducibility, not paper-tier numbers (benchmarks/test_perf_trajectory.py
+covers those).
+"""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.perf.benches import (
+    bench_attack,
+    bench_crawl,
+    bench_linkage,
+    bench_worldgen_record,
+)
+from repro.perf.record import load_record, validate_record
+
+
+def exact_metrics(record):
+    return {
+        name: entry["value"]
+        for name, entry in record["metrics"].items()
+        if entry["direction"] == "exact"
+    }
+
+
+def test_bench_crawl_record_shape_and_determinism():
+    record = bench_crawl("tiny", seed=7)
+    assert validate_record(record) == []
+    assert record["benchmark"] == "crawl"
+    assert record["params"]["preset"] == "tiny"
+    metrics = record["metrics"]
+    assert metrics["pages_per_second"]["value"] > 0
+    assert metrics["requests"]["value"] > 0
+    assert metrics["sim_seconds"]["value"] > 0  # politeness on the SimClock
+    assert {p["name"] for p in record["phases"]} == {
+        "seeds", "profiles", "friend_lists",
+    }
+    rerun = bench_crawl("tiny", seed=7)
+    assert exact_metrics(rerun) == exact_metrics(record)
+
+
+def test_bench_attack_record_shape():
+    record = bench_attack("tiny", seed=7, threshold=120)
+    assert validate_record(record) == []
+    metrics = record["metrics"]
+    assert metrics["accounts_scored_per_second"]["value"] > 0
+    assert metrics["candidates_scored"]["value"] > 0
+    assert metrics["core_size"]["value"] > 0
+    assert {"seeds", "core", "scoring", "threshold"} <= {
+        p["name"] for p in record["phases"]
+    }
+    assert record["params"]["variant"] == "enhanced+filtering"
+
+
+def test_bench_linkage_record_shape():
+    record = bench_linkage("tiny", seed=7, threshold=120)
+    assert validate_record(record) == []
+    metrics = record["metrics"]
+    assert metrics["students_linked"]["value"] > 0
+    assert metrics["candidate_pairs"]["value"] >= metrics["students_linked"]["value"]
+    assert metrics["registered_voters"]["value"] > 0
+    assert {"attack", "extend", "registry", "link"} <= {
+        p["name"] for p in record["phases"]
+    }
+
+
+def test_bench_attack_profile_opt_in():
+    record = bench_attack("tiny", seed=7, threshold=120, profile_top=5)
+    assert validate_record(record) == []
+    assert 0 < len(record["profile"]) <= 5
+    assert {"function", "cumtime_seconds"} <= set(record["profile"][0])
+    # Unprofiled runs carry no profile section at all.
+    assert "profile" not in bench_attack("tiny", seed=7, threshold=120)
+
+
+def test_bench_worldgen_record_wraps_flat_tier():
+    record = bench_worldgen_record("smoke", seed=11)
+    assert validate_record(record) == []
+    assert record["metrics"]["accounts_per_second"]["value"] > 0
+    # The historical flat record rides along for older tooling.
+    assert record["tier"]["accounts"] == record["metrics"]["accounts"]["value"]
+    assert record["tier"]["backend"] in ("numpy", "stdlib-array")
+
+
+def test_cli_bench_run_writes_valid_records(tmp_path, capsys):
+    exit_code = main(
+        [
+            "bench", "run", "--bench", "crawl", "--preset", "tiny",
+            "--seed", "7", "--out", str(tmp_path),
+        ]
+    )
+    assert exit_code == 0
+    record = load_record(tmp_path / "BENCH_crawl.json")
+    assert validate_record(record) == []
+    out = capsys.readouterr().out
+    assert "pages_per_second" in out
+    assert "BENCH_crawl.json" in out

@@ -1,0 +1,220 @@
+"""The regression gate: golden-record comparisons and CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.compare import (
+    RecordSetError,
+    check_budgets,
+    compare_sets,
+    load_record_set,
+    render_markdown,
+    render_text,
+)
+from repro.perf.record import SCHEMA_VERSION, metric, new_record, write_record
+
+
+def golden(benchmark="crawl", throughput=100.0, rss=1_000_000, requests=500):
+    return new_record(
+        benchmark,
+        params={"preset": "tiny", "seed": 7},
+        metrics={
+            "throughput": metric(
+                throughput, "pages/sec", "higher", tolerance_pct=10
+            ),
+            "peak_rss_bytes": metric(rss, "bytes", "lower", tolerance_pct=15),
+            "requests": metric(requests, "count", "exact"),
+            "wall_seconds": metric(1.0, "seconds", "info"),
+        },
+    )
+
+
+def kinds(report):
+    return {(item.benchmark, item.metric): item.kind for item in report.items}
+
+
+# ----------------------------------------------------------------------
+# compare_sets semantics
+# ----------------------------------------------------------------------
+
+def test_identical_sets_pass():
+    old = {"crawl": golden()}
+    report = compare_sets(old, {"crawl": golden()})
+    assert report.ok
+    assert kinds(report)[("crawl", "throughput")] == "ok"
+
+
+def test_twenty_percent_throughput_drop_regresses():
+    report = compare_sets({"crawl": golden()}, {"crawl": golden(throughput=80.0)})
+    assert not report.ok
+    assert kinds(report)[("crawl", "throughput")] == "regression"
+
+
+def test_within_band_jitter_passes():
+    report = compare_sets({"crawl": golden()}, {"crawl": golden(throughput=97.0)})
+    assert report.ok
+
+
+def test_throughput_gain_is_improvement():
+    report = compare_sets({"crawl": golden()}, {"crawl": golden(throughput=130.0)})
+    assert report.ok
+    assert kinds(report)[("crawl", "throughput")] == "improvement"
+
+
+def test_rss_growth_regresses():
+    report = compare_sets({"crawl": golden()}, {"crawl": golden(rss=1_300_000)})
+    assert not report.ok
+    assert kinds(report)[("crawl", "peak_rss_bytes")] == "regression"
+
+
+def test_exact_drift_warns_but_does_not_gate():
+    report = compare_sets({"crawl": golden()}, {"crawl": golden(requests=501)})
+    assert report.ok
+    assert kinds(report)[("crawl", "requests")] == "changed"
+
+
+def test_missing_metric_gates():
+    new = golden()
+    del new["metrics"]["throughput"]
+    report = compare_sets({"crawl": golden()}, {"crawl": new})
+    assert not report.ok
+    assert kinds(report)[("crawl", "throughput")] == "missing-metric"
+
+
+def test_missing_benchmark_gates():
+    report = compare_sets(
+        {"crawl": golden(), "attack": golden("attack")}, {"crawl": golden()}
+    )
+    assert not report.ok
+    assert kinds(report)[("attack", "")] == "missing-benchmark"
+
+
+def test_new_benchmark_and_metric_do_not_gate():
+    new = golden()
+    new["metrics"]["extra"] = metric(1.0, "count", "exact")
+    report = compare_sets(
+        {"crawl": golden()}, {"crawl": new, "linkage": golden("linkage")}
+    )
+    assert report.ok
+    assert kinds(report)[("crawl", "extra")] == "new-metric"
+    assert kinds(report)[("linkage", "")] == "new-benchmark"
+
+
+def test_schema_version_mismatch_skips_pair():
+    old = golden()
+    old["schema_version"] = SCHEMA_VERSION + 1
+    report = compare_sets({"crawl": old}, {"crawl": golden(throughput=10.0)})
+    assert report.ok  # the huge drop is not gated: the pair was skipped
+    assert kinds(report)[("crawl", "")] == "skipped-version"
+
+
+def test_pre_schema_old_record_skips_pair_but_budget_still_applies():
+    old = {"crawl": {"accounts": 7}}  # old flat format, schema-invalid
+    new = golden()
+    new["metrics"]["overhead_percent"] = metric(
+        12.0, "percent", "info", max_value=10.0
+    )
+    report = compare_sets(old, {"crawl": new})
+    assert kinds(report)[("crawl", "")] == "skipped-version"
+    assert not report.ok
+    assert kinds(report)[("crawl", "overhead_percent")] == "budget"
+
+
+def test_invalid_new_record_is_infrastructure_error():
+    bad = golden()
+    del bad["metrics"]
+    with pytest.raises(RecordSetError):
+        compare_sets({"crawl": golden()}, {"crawl": bad})
+
+
+def test_budget_gate_without_old_counterpart():
+    record = golden()
+    record["metrics"]["overhead_percent"] = metric(
+        12.0, "percent", "info", max_value=10.0
+    )
+    [item] = check_budgets(record)
+    assert item.kind == "budget"
+    assert "exceeds budget" in item.note
+    assert check_budgets(golden()) == []
+
+
+def test_renderers_cover_the_findings():
+    report = compare_sets({"crawl": golden()}, {"crawl": golden(throughput=80.0)})
+    text = render_text(report)
+    assert "REGRESSION" in text and "throughput" in text
+    markdown = render_markdown(report)
+    assert "| crawl | throughput (pages/sec) |" in markdown
+    assert "1 gating failure" in markdown
+
+
+# ----------------------------------------------------------------------
+# record sets and the CLI gate
+# ----------------------------------------------------------------------
+
+def write_set(directory, records):
+    directory.mkdir(parents=True, exist_ok=True)
+    for name, record in records.items():
+        write_record(record, directory / f"BENCH_{name}.json")
+
+
+def test_load_record_set_globs_and_strips_prefix(tmp_path):
+    write_set(tmp_path, {"crawl": golden(), "attack": golden("attack")})
+    (tmp_path / "notes.txt").write_text("ignored")
+    records = load_record_set(str(tmp_path))
+    assert sorted(records) == ["attack", "crawl"]
+
+
+def test_load_record_set_missing_path_raises():
+    with pytest.raises(RecordSetError):
+        load_record_set("/nonexistent/bench-dir")
+
+
+def test_load_record_set_unreadable_json_raises(tmp_path):
+    (tmp_path / "BENCH_crawl.json").write_text("{not json")
+    with pytest.raises(RecordSetError):
+        load_record_set(str(tmp_path))
+
+
+def test_cli_compare_exit_codes(tmp_path, capsys):
+    old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+    write_set(old_dir, {"crawl": golden()})
+    write_set(new_dir, {"crawl": golden(throughput=80.0)})
+
+    assert main(["bench", "compare", str(old_dir), str(old_dir)]) == 0
+    assert main(["bench", "compare", str(old_dir), str(new_dir)]) == 1
+    assert main(["bench", "compare", str(old_dir), str(new_dir), "--warn-only"]) == 0
+    out = capsys.readouterr()
+    assert "REGRESSION" in out.out
+    assert "warn-only" in out.err
+
+
+def test_cli_compare_infrastructure_failures(tmp_path, capsys):
+    old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+    write_set(old_dir, {"crawl": golden()})
+    new_dir.mkdir()
+    (new_dir / "BENCH_crawl.json").write_text(json.dumps({"benchmark": "crawl"}))
+
+    assert main(["bench", "compare", str(old_dir), str(new_dir)]) == 2
+    assert main(["bench", "compare", str(old_dir), str(tmp_path / "empty")]) == 2
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["bench", "compare", str(old_dir), str(empty)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_report_renders_markdown_and_never_gates(tmp_path, capsys):
+    old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+    write_set(old_dir, {"crawl": golden()})
+    write_set(new_dir, {"crawl": golden(throughput=50.0)})
+    out_file = tmp_path / "trend.md"
+
+    assert main(
+        ["bench", "report", str(old_dir), str(new_dir), "--out", str(out_file)]
+    ) == 0
+    printed = capsys.readouterr().out
+    assert "# Perf trajectory" in printed
+    assert "REGRESSION" in out_file.read_text()

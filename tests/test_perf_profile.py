@@ -1,0 +1,80 @@
+"""Phase aggregation over telemetry spans and the cProfile breakdown."""
+
+from __future__ import annotations
+
+from repro.osn.clock import SimClock
+from repro.perf.profile import (
+    aggregate_phases,
+    phases_json,
+    profile_call,
+    render_phase_table,
+)
+from repro.telemetry.runtime import Telemetry
+from repro.telemetry.tracing import SpanRecord
+
+
+def span(name, wall, sim_start=0.0, sim_end=0.0, parent="-"):
+    return SpanRecord(
+        name=name, parent=parent, sim_start=sim_start, sim_end=sim_end,
+        wall_seconds=wall,
+    )
+
+
+def test_aggregate_sums_and_sorts_by_wall():
+    spans = [
+        span("seeds", wall=0.2, sim_start=0.0, sim_end=10.0),
+        span("core", wall=0.5, sim_start=10.0, sim_end=40.0),
+        span("seeds", wall=0.3, sim_start=40.0, sim_end=45.0),
+    ]
+    stats = aggregate_phases(spans)
+    assert [s.name for s in stats] == ["core", "seeds"]
+    seeds = stats[1]
+    assert seeds.calls == 2
+    assert seeds.wall_seconds == 0.5
+    assert seeds.sim_seconds == 15.0
+
+
+def test_aggregate_ties_break_on_name():
+    stats = aggregate_phases([span("b", wall=0.1), span("a", wall=0.1)])
+    assert [s.name for s in stats] == ["a", "b"]
+
+
+def test_phases_json_shape():
+    [entry] = phases_json(aggregate_phases([span("link", wall=0.25)]))
+    assert entry == {
+        "name": "link", "calls": 1, "wall_seconds": 0.25, "sim_seconds": 0.0,
+    }
+
+
+def test_phases_from_real_tracer_spans():
+    telemetry = Telemetry(SimClock(2012.25))
+    with telemetry.span("outer"):
+        with telemetry.span("inner"):
+            telemetry.clock.sleep(30.0)
+    stats = aggregate_phases(telemetry.tracer.finished)
+    by_name = {s.name: s for s in stats}
+    assert by_name["inner"].sim_seconds == 30.0
+    assert by_name["outer"].sim_seconds == 30.0
+
+
+def test_render_phase_table_mentions_phases():
+    table = render_phase_table(aggregate_phases([span("seeds", wall=0.001)]))
+    assert "seeds" in table
+    assert "wall ms" in table
+
+
+def test_profile_call_returns_result_and_entries():
+    def work():
+        return sum(sorted(range(5000), reverse=True))
+
+    result, entries = profile_call(work, top_n=5)
+    assert result == sum(range(5000))
+    assert 0 < len(entries) <= 5
+    for entry in entries:
+        assert set(entry) == {
+            "function", "file", "line", "calls",
+            "tottime_seconds", "cumtime_seconds",
+        }
+    # Sorted by cumulative time, hottest first.
+    cumtimes = [entry["cumtime_seconds"] for entry in entries]
+    assert cumtimes == sorted(cumtimes, reverse=True)

@@ -46,11 +46,11 @@ class AccountPool:
         if not usable:
             raise NoUsableAccountsError("all crawl accounts disabled")
         account = usable[self._cursor % len(usable)]
-        self._cursor += 1
+        self._cursor += 1  # repro-lint: shared(AccountPool) -- rotation cursor is deliberately session-global so concurrent sessions fan out over the pool
         return account
 
     def mark_disabled(self, account_id: int) -> None:
-        self._disabled.add(account_id)
+        self._disabled.add(account_id)  # repro-lint: shared(AccountPool) -- losing an account must retire it for every session, not just the one that tripped the ban
 
     def is_disabled(self, account_id: int) -> bool:
         return account_id in self._disabled

@@ -62,12 +62,27 @@ class CrawlClient:
         self.frontend = frontend
         self.pool = pool
         self.telemetry = telemetry
-        self.pacer = Pacer(frontend.clock, politeness, telemetry=telemetry)
+        self._politeness = politeness
+        self._pacers: Dict[int, Pacer] = {}
         if counter is None:
             counter = EffortCounter(
                 registry=telemetry.registry if telemetry is not None else None
             )
         self.counter = counter
+
+    def pacer_for(self, account_id: int) -> Pacer:
+        """The per-account pacer, created on first use.
+
+        Pacing state (jitter RNG, backoff streak, sleep total) is keyed
+        per account so concurrent sessions never share it; every pacer
+        seeds the same RNG, keeping single-account runs draw-for-draw
+        identical to the old shared-pacer behaviour.
+        """
+        pacer = self._pacers.get(account_id)
+        if pacer is None:
+            pacer = Pacer(self.frontend.clock, self._politeness, telemetry=self.telemetry)
+            self._pacers[account_id] = pacer  # repro-lint: shared(CrawlClient) -- first-use registry insert; pacing state lives on the per-account object
+        return pacer
 
     # ------------------------------------------------------------------
     # Transport with rotation / back-off
@@ -80,13 +95,37 @@ class CrawlClient:
         account_id: Optional[int] = None,
     ) -> str:
         """One logical GET: paces, rotates accounts, retries throttles."""
+        return self._transport(False, path, params, category, account_id)
+
+    def _post(
+        self,
+        path: str,
+        params: Optional[Mapping[str, str]],
+        category: str,
+        account_id: Optional[int] = None,
+    ) -> str:
+        """One logical POST (state-changing action), same pacing rules."""
+        return self._transport(True, path, params, category, account_id)
+
+    def _transport(
+        self,
+        write: bool,
+        path: str,
+        params: Optional[Mapping[str, str]],
+        category: str,
+        account_id: Optional[int] = None,
+    ) -> str:
         telemetry = self.telemetry
         throttles = 0
         while True:
             chosen = account_id if account_id is not None else self.pool.next()
-            self.pacer.before_request()
+            pacer = self.pacer_for(chosen)
+            pacer.before_request()
             try:
-                page = self.frontend.get(chosen, path, params)
+                if write:
+                    page = self.frontend.post(chosen, path, params)
+                else:
+                    page = self.frontend.get(chosen, path, params)
             except RateLimitedError as exc:
                 throttles += 1
                 if throttles > _MAX_THROTTLE_RETRIES:
@@ -99,7 +138,7 @@ class CrawlClient:
                             throttles=throttles,
                         )
                     raise
-                slept = self.pacer.on_throttle(exc.retry_after)
+                slept = pacer.on_throttle(exc.retry_after)
                 if telemetry is not None:
                     telemetry.emit(
                         "throttle",
@@ -127,7 +166,7 @@ class CrawlClient:
                 telemetry.emit(
                     "request", account=chosen, category=category, path=path
                 )
-            self.pacer.on_success()
+            pacer.on_success()
             return page
 
     # ------------------------------------------------------------------
@@ -233,7 +272,7 @@ class CrawlClient:
     def send_message(self, user_id: int, text: str) -> bool:
         """Attempt a direct message; ``False`` when policy forbids it."""
         try:
-            self._get(
+            self._post(
                 "/messages/send",
                 {"to": str(user_id), "text": text},
                 CATEGORY_OTHER,
@@ -244,7 +283,7 @@ class CrawlClient:
 
     def send_friend_request(self, user_id: int) -> bool:
         """Send a friend request; ``False`` if one was already pending."""
-        page = self._get(
+        page = self._post(
             "/friend-request", {"to": str(user_id)}, CATEGORY_OTHER
         )
         kind, _ = parse_action_page(page)

@@ -8,6 +8,7 @@ files that could not be read/parsed (LINT002).
 from __future__ import annotations
 
 import argparse
+import inspect
 import os
 import sys
 from typing import List, Optional, Sequence
@@ -21,6 +22,55 @@ from .sarif import render_sarif
 
 #: Linted when no paths are given; members that don't exist are skipped.
 DEFAULT_TARGETS = ("src/repro", "tests", "benchmarks", "examples")
+
+#: Diagnostics the engine emits itself, with no Rule class to document.
+_BUILTIN_EXPLANATIONS = {
+    "LINT001": (
+        "LINT001 [lint-infra]  malformed repro-lint comment\n"
+        "\n"
+        "Rationale: a suppression that does not parse silences nothing and\n"
+        "reads as if it did; flagging it keeps the suppression inventory\n"
+        "honest.  Every suppression must carry a justification after `--`.\n"
+        "\n"
+        "Fix: use `# repro-lint: allow(RULE001[, RULE002]) -- <why>` to\n"
+        "waive findings on the statement, or\n"
+        "`# repro-lint: shared(Owner) -- <why>` to declare a deliberate\n"
+        "shared-state write for SHARE001.  The `-- <why>` part is\n"
+        "mandatory in both forms.\n"
+        "\n"
+        "Suppression: not suppressible — fix or delete the comment."
+    ),
+    "LINT002": (
+        "LINT002 [lint-infra]  file could not be read or parsed\n"
+        "\n"
+        "Rationale: an unreadable or syntactically invalid file cannot be\n"
+        "checked at all, so every rule is silently skipped for it; that is\n"
+        "an infrastructure failure (exit 2), not a clean pass.\n"
+        "\n"
+        "Fix: repair the syntax error or file permissions, or exclude the\n"
+        "path from the linted targets if it is not Python.\n"
+        "\n"
+        "Suppression: not suppressible — the file must parse first."
+    ),
+}
+
+
+def explain_rule(rule_id: str) -> int:
+    """Print one rule's rationale/fix/suppression contract from its docstring."""
+    wanted = rule_id.strip().upper()
+    text = _BUILTIN_EXPLANATIONS.get(wanted)
+    if text is None:
+        for rule in all_rules():
+            if rule.rule_id == wanted:
+                doc = inspect.getdoc(type(rule)) or "(no documentation)"
+                text = f"{rule.rule_id} [{rule.category}]  {rule.summary}\n\n{doc}"
+                break
+    if text is None:
+        known = ", ".join(list(rule_ids()) + sorted(_BUILTIN_EXPLANATIONS))
+        print(f"error: unknown rule id {rule_id!r} (known: {known})", file=sys.stderr)
+        return 2
+    print(text)
+    return 0
 
 
 def default_paths() -> List[str]:
@@ -83,12 +133,20 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print one rule's rationale, fix and suppression form, then exit",
+    )
 
 
 def run_lint(args: argparse.Namespace) -> int:
+    if args.explain:
+        return explain_rule(args.explain)
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.rule_id}  {rule.summary}")
+            print(f"{rule.rule_id}  [{rule.category}]  {rule.summary}")
         return 0
 
     if args.jobs < 1:

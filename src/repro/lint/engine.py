@@ -31,7 +31,7 @@ from .baseline import Baseline
 from .cache import CacheEntry, LintCache, content_hash
 from .findings import Finding
 from .flow.index import ProjectIndex
-from .flow.rules import WholeProgramRule
+from .rules.base import WholeProgramRule
 from .flow.summary import ModuleSummary, extract_summary
 from .rules import FileContext, Rule, all_rules
 from .suppressions import parse_suppressions
@@ -40,7 +40,7 @@ from .suppressions import parse_suppressions
 PARSE_ERROR_RULE = "LINT002"
 
 #: Bumped when engine behaviour changes in cache-visible ways.
-ENGINE_VERSION = 2
+ENGINE_VERSION = 3
 
 
 @dataclass
@@ -298,7 +298,7 @@ def _analyze_one(
             None,
         )
     ctx = FileContext.build(path, module, source, tree, is_package=is_package)
-    table = parse_suppressions(source, path)
+    table = parse_suppressions(source, path, tree)
     raw: List[Finding] = list(table.findings)
     for rule in rules:
         raw.extend(rule.check(ctx))
@@ -310,5 +310,7 @@ def _analyze_one(
         else:
             kept.append(finding)
     kept.sort()
-    summary = extract_summary(tree, module, path, is_package=is_package)
+    summary = extract_summary(
+        tree, module, path, is_package=is_package, shared_lines=table.shared_by_line
+    )
     return kept, suppressed, summary

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import FrozenSet, Iterator, Optional, Set, Tuple
 
 from ..findings import Finding
-from ..rules.base import FileContext, Rule, register
+from ..rules.base import FileContext, Rule, WholeProgramRule, register
 from ..rules.oracle import (
     ATTACKER_VISIBLE_OSN,
     EVALUATION_MODULES,
@@ -24,16 +24,6 @@ from ..rules.oracle import (
 from .index import ProjectIndex
 from .summary import AttrRead, CallInfo, ExprInfo, FunctionInfo, GATE_FUNCTIONS
 from .taint import SourceKey, TaintDomain, TaintEngine
-
-
-class WholeProgramRule(Rule):
-    """A rule that needs the whole project, not one file at a time."""
-
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
-        return iter(())  # whole-program rules contribute nothing per file
-
-    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
-        raise NotImplementedError
 
 
 # ----------------------------------------------------------------------
@@ -85,12 +75,28 @@ def _witness(sources: FrozenSet[SourceKey]) -> str:
 
 @register
 class GroundTruthFlowRule(WholeProgramRule):
+    """Ground truth must not flow into attacker code, even laundered.
+
+    Rationale: ORACLE001/002 catch *direct* reads; this taint pass
+    catches the two-hop versions — a helper that returns
+    ``world.population``, a module-level global carrying ground truth,
+    a tainted argument handed into a crawler function.  Any of them
+    silently inflates attack accuracy.
+
+    Fix: move the access behind ``repro.core.oracle`` (the audited
+    evaluation seam) or recompute the value from crawled pages.
+
+    Suppression: ``# repro-lint: allow(FLOW001) -- <why>`` on the line
+    of the flagged call/read/import.
+    """
+
     rule_id = "FLOW001"
     summary = (
         "ground-truth taint must not reach attacker code "
         "(repro.crawler/repro.core/report emitters) except via the "
         "oracle seam"
     )
+    category = "privacy-flow"
 
     def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
         result = TaintEngine(index, _GroundTruthDomain()).run()
@@ -288,11 +294,29 @@ class _PrivacyGateDomain(TaintDomain):
 
 @register
 class PrivacyGateFlowRule(WholeProgramRule):
+    """Sensitive profile fields stay behind the privacy-policy gate.
+
+    Rationale: the reproduction's entire subject is what a stranger can
+    see.  A raw ``profile.birthday`` read that reaches a
+    crawler-visible return without consulting
+    ``PrivacyPolicy.field_visible_to`` is a simulator bug that leaks
+    data the modelled OSN would have hidden — corrupting the measured
+    attack surface.
+
+    Fix: gate the read (or the use) with the policy engine; the
+    read-then-gate-at-use idiom is recognised when the function invokes
+    a gate anywhere in its body.
+
+    Suppression: ``# repro-lint: allow(FLOW002) -- <why>`` on the
+    flagged return's line.
+    """
+
     rule_id = "FLOW002"
     summary = (
         "privacy-gated profile fields must not flow into crawler-visible "
         "returns without passing the policy gate"
     )
+    category = "privacy-flow"
 
     def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
         domain = _PrivacyGateDomain(_policy_aware_functions(index))
@@ -327,11 +351,26 @@ _DEAD_EXEMPT_NAMES: FrozenSet[str] = frozenset({"main", "setup"})
 
 @register
 class DeadDefinitionRule(WholeProgramRule):
+    """Module-level defs nothing in the project references are dead.
+
+    Rationale: unreferenced top-level functions and classes are where
+    stale experiment variants accumulate; they rot silently and mislead
+    readers about what the pipeline actually runs.
+
+    Fix: delete the definition, or export it via ``__all__`` if it is
+    deliberate public API.  Tests, pytest hooks, ``main``/``setup``
+    entry points and star-imported modules are exempt automatically.
+
+    Suppression: ``# repro-lint: allow(DEAD001) -- <why>`` on the
+    ``def``/``class`` line.
+    """
+
     rule_id = "DEAD001"
     summary = (
         "module-level functions/classes referenced nowhere in the "
         "linted project are dead code"
     )
+    category = "hygiene"
 
     def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
         used = index.used_names()

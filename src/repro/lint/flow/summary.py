@@ -23,12 +23,22 @@ function, no heap model — because the rules built on it only need an
   conditional whose test mentions a privacy-gate predicate
   (``sees(...)``, ``PolicyEngine.field_visible_to`` and friends, or a
   boolean local derived from one).  FLOW002 treats gated reads as
-  sanitised: the value only flows when the policy said it may.
+  sanitised: the value only flows when the policy said it may;
+* version 2 adds the facts the concurrency pass (:mod:`repro.lint.conc`)
+  consumes: per-op **write paths** (``self.x = ...``, ``d[k] = ...``,
+  mutator receivers come from the op's calls), **alias roots** of
+  assigned values (call results count as fresh — the deliberate
+  approximation that makes keyed-accessor indirection the sanctioned
+  per-account ownership pattern), ``await`` and held-sync-lock bits,
+  per-function ``async``/``global`` facts and dotted param/return
+  annotations, class-body attribute names, and the line table of
+  ``# repro-lint: shared(owner)`` annotations.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -43,7 +53,7 @@ from typing import (
 )
 
 #: Bump when the summary shape changes; invalidates cached summaries.
-SUMMARY_VERSION = 1
+SUMMARY_VERSION = 2
 
 #: Predicate names that gate profile-field visibility.  A conditional
 #: whose test calls one of these (or reads a boolean derived from one)
@@ -80,7 +90,13 @@ class AttrRead:
 class CallInfo:
     """One call site: dotted callee ref when statically writable
     (``"f"``, ``"mod.f"``, ``"self.m"``), per-argument expressions, and
-    location.  Keyword arguments keep their names for param mapping."""
+    location.  Keyword arguments keep their names for param mapping.
+
+    When the call's receiver is itself produced by a call with a dotted
+    callee (``self._limiter_for(a).charge()``), ``callee`` is None but
+    ``recv_call``/``method`` record the accessor ref and the method name
+    so the concurrency pass can resolve through accessor return types.
+    """
 
     callee: Optional[str]
     args: Tuple["ExprInfo", ...]
@@ -88,6 +104,8 @@ class CallInfo:
     line: int
     col: int
     gated: bool
+    recv_call: Optional[str] = None
+    method: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -109,24 +127,47 @@ EMPTY_EXPR = ExprInfo()
 
 @dataclass(frozen=True)
 class Op:
-    """One operation in a function body."""
+    """One operation in a function body.
+
+    ``writes`` lists the dotted paths this op mutates as ``(path, mode)``
+    pairs: mode ``"bind"`` sets the final attribute on the object at the
+    path's prefix (``self.x = v``); mode ``"mutate"`` mutates the object
+    *at* the path itself (``self.xs[k] = v``, ``del self.xs[k]``).
+    ``alias`` holds the dotted roots an assigned value may alias (call
+    results are fresh by design).  ``awaited`` marks ops containing an
+    ``await``; ``locks`` lists sync-``with`` lock refs held at the op.
+    """
 
     kind: str  # "assign" | "return" | "expr"
     targets: Tuple[str, ...]
     expr: ExprInfo
     line: int
     col: int
+    writes: Tuple[Tuple[str, str], ...] = ()
+    alias: Tuple[str, ...] = ()
+    awaited: bool = False
+    locks: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
 class FunctionInfo:
-    """One function/method (or the module body, qualname ``""``)."""
+    """One function/method (or the module body, qualname ``""``).
+
+    ``annotations`` are ``(param, dotted-ref)`` pairs for params whose
+    annotation is a plain dotted name (``Optional[X]``/``X | None``
+    unwrapped, string annotations parsed when identifier-shaped), plus a
+    ``("return", ref)`` pair for the return annotation — the type facts
+    the concurrency pass resolves accessor chains through.
+    """
 
     qualname: str
     params: Tuple[str, ...]
     line: int
     ops: Tuple[Op, ...]
     nested: Tuple[str, ...] = ()  # qualnames of nested defs
+    is_async: bool = False
+    globals_declared: Tuple[str, ...] = ()
+    annotations: Tuple[Tuple[str, str], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -156,6 +197,12 @@ class ModuleSummary:
     used_names: FrozenSet[str] = frozenset()
     exports: Tuple[str, ...] = ()
     dead_candidates: Tuple[DeadCandidate, ...] = ()
+    #: class name -> attribute names bound by plain assignments in the
+    #: class body (the classic class-level-state idiom; dataclass field
+    #: declarations are AnnAssigns and deliberately excluded)
+    class_attrs: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: line -> owner from ``# repro-lint: shared(owner) -- why``
+    shared_lines: Dict[int, str] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -171,6 +218,8 @@ class ModuleSummary:
             "dead_candidates": [
                 [d.name, d.kind, d.line, d.col] for d in self.dead_candidates
             ],
+            "class_attrs": {c: list(ns) for c, ns in self.class_attrs.items()},
+            "shared_lines": {str(ln): owner for ln, owner in self.shared_lines.items()},
         }
 
     @classmethod
@@ -198,6 +247,14 @@ class ModuleSummary:
                 DeadCandidate(str(d[0]), str(d[1]), int(d[2]), int(d[3]))
                 for d in raw["dead_candidates"]
             ),
+            class_attrs={
+                str(c): tuple(str(n) for n in ns)
+                for c, ns in dict(raw["class_attrs"]).items()
+            },
+            shared_lines={
+                int(ln): str(owner)
+                for ln, owner in dict(raw["shared_lines"]).items()
+            },
         )
 
 
@@ -221,6 +278,8 @@ def _call_to_json(call: CallInfo) -> Dict[str, Any]:
         "l": call.line,
         "o": call.col,
         "g": call.gated,
+        "rc": call.recv_call,
+        "m": call.method,
     }
 
 
@@ -249,6 +308,8 @@ def _call_from_json(raw: Mapping[str, Any]) -> CallInfo:
         line=int(raw["l"]),
         col=int(raw["o"]),
         gated=bool(raw["g"]),
+        recv_call=None if raw["rc"] is None else str(raw["rc"]),
+        method=None if raw["m"] is None else str(raw["m"]),
     )
 
 
@@ -258,10 +319,23 @@ def _function_to_json(fn: FunctionInfo) -> Dict[str, Any]:
         "p": list(fn.params),
         "l": fn.line,
         "ops": [
-            [op.kind, list(op.targets), _expr_to_json(op.expr), op.line, op.col]
+            [
+                op.kind,
+                list(op.targets),
+                _expr_to_json(op.expr),
+                op.line,
+                op.col,
+                [[p, m] for p, m in op.writes],
+                list(op.alias),
+                op.awaited,
+                list(op.locks),
+            ]
             for op in fn.ops
         ],
         "nested": list(fn.nested),
+        "async": fn.is_async,
+        "globals": list(fn.globals_declared),
+        "ann": [[n, r] for n, r in fn.annotations],
     }
 
 
@@ -277,10 +351,17 @@ def _function_from_json(raw: Mapping[str, Any]) -> FunctionInfo:
                 expr=_expr_from_json(op[2]),
                 line=int(op[3]),
                 col=int(op[4]),
+                writes=tuple((str(w[0]), str(w[1])) for w in op[5]),
+                alias=tuple(str(a) for a in op[6]),
+                awaited=bool(op[7]),
+                locks=tuple(str(lk) for lk in op[8]),
             )
             for op in raw["ops"]
         ),
         nested=tuple(str(n) for n in raw["nested"]),
+        is_async=bool(raw["async"]),
+        globals_declared=tuple(str(g) for g in raw["globals"]),
+        annotations=tuple((str(a[0]), str(a[1])) for a in raw["ann"]),
     )
 
 
@@ -342,14 +423,27 @@ class _ExprBuilder:
                     args.append(sub)
                 else:
                     kwargs.append((kw.arg, sub))
+            recv_call: Optional[str] = None
+            method: Optional[str] = None
+            callee = dotted_ref(node.func)
+            if (
+                callee is None
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Call)
+            ):
+                recv_call = dotted_ref(node.func.value.func)
+                if recv_call is not None:
+                    method = node.func.attr
             self.calls.append(
                 CallInfo(
-                    callee=dotted_ref(node.func),
+                    callee=callee,
                     args=tuple(args),
                     kwargs=tuple(kwargs),
                     line=node.lineno,
                     col=node.col_offset,
                     gated=gated,
+                    recv_call=recv_call,
+                    method=method,
                 )
             )
             self.build(node.func, gated)
@@ -448,7 +542,145 @@ def _flatten_targets(target: ast.expr) -> List[str]:
         return names
     if isinstance(target, ast.Starred):
         return _flatten_targets(target.value)
-    return []  # attribute / subscript targets: no heap model
+    return []  # attribute / subscript targets: recorded as writes instead
+
+
+def _write_targets(target: ast.expr) -> List[Tuple[str, str]]:
+    """``(path, mode)`` write records for attribute/subscript targets."""
+    if isinstance(target, ast.Attribute):
+        ref = dotted_ref(target)
+        return [(ref, "bind")] if ref is not None else []
+    if isinstance(target, ast.Subscript):
+        ref = dotted_ref(target.value)
+        return [(ref, "mutate")] if ref is not None else []
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[Tuple[str, str]] = []
+        for element in target.elts:
+            out.extend(_write_targets(element))
+        return out
+    if isinstance(target, ast.Starred):
+        return _write_targets(target.value)
+    return []
+
+
+def _alias_refs(value: Optional[ast.expr]) -> Tuple[str, ...]:
+    """Dotted roots an assigned value may alias.
+
+    Call results (and awaited values) are deliberately *fresh*: an object
+    handed out by an accessor is treated as owned by the accessor's
+    return-type class, not by whatever the accessor read it from.
+    """
+    if value is None:
+        return ()
+    refs: List[str] = []
+
+    def visit(node: ast.expr) -> None:
+        if isinstance(node, ast.Name):
+            refs.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            ref = dotted_ref(node)
+            if ref is not None:
+                refs.append(ref)
+        elif isinstance(node, ast.Subscript):
+            ref = dotted_ref(node.value)
+            if ref is not None:
+                refs.append(ref)  # d[k] aliases into d's object graph
+        elif isinstance(node, ast.IfExp):
+            visit(node.body)
+            visit(node.orelse)
+        elif isinstance(node, ast.BoolOp):
+            for sub in node.values:
+                visit(sub)
+        elif isinstance(node, ast.NamedExpr):
+            visit(node.value)
+        # Call / Await / literals: fresh
+
+    visit(value)
+    return tuple(dict.fromkeys(refs))
+
+
+#: Receiver-name fragments that mark a ``with`` context as a sync lock.
+_LOCKISH_LAST_COMPONENTS = ("lock", "mutex")
+
+
+def _lock_ref(expr: ast.expr) -> Optional[str]:
+    """The dotted ref of a lock-like ``with`` context expr, if any."""
+    node = expr.func if isinstance(expr, ast.Call) else expr
+    ref = dotted_ref(node)
+    if ref is None:
+        return None
+    last = ref.rsplit(".", 1)[-1].lower()
+    if any(fragment in last for fragment in _LOCKISH_LAST_COMPONENTS):
+        return ref
+    if last in ("semaphore", "condition"):
+        return ref
+    return None
+
+
+def _contains_await(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    return any(isinstance(sub, ast.Await) for sub in ast.walk(node))
+
+
+_IDENTIFIER_CHAIN_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+
+
+def _annotation_ref(node: Optional[ast.expr]) -> Optional[str]:
+    """A plain dotted ref for an annotation, unwrapping Optional/None."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        if _IDENTIFIER_CHAIN_RE.fullmatch(text):
+            return text
+        return None
+    if isinstance(node, ast.Subscript):
+        base = dotted_ref(node.value)
+        if base is not None and base.rsplit(".", 1)[-1] == "Optional":
+            return _annotation_ref(node.slice)
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left_none = isinstance(node.left, ast.Constant) and node.left.value is None
+        right_none = isinstance(node.right, ast.Constant) and node.right.value is None
+        if right_none:
+            return _annotation_ref(node.left)
+        if left_none:
+            return _annotation_ref(node.right)
+        return None
+    return dotted_ref(node)
+
+
+def _annotations_of(node: ast.stmt) -> Tuple[Tuple[str, str], ...]:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return ()
+    pairs: List[Tuple[str, str]] = []
+    arguments = node.args
+    for arg in [*arguments.posonlyargs, *arguments.args, *arguments.kwonlyargs]:
+        ref = _annotation_ref(arg.annotation)
+        if ref is not None:
+            pairs.append((arg.arg, ref))
+    ret = _annotation_ref(node.returns)
+    if ret is not None:
+        pairs.append(("return", ret))
+    return tuple(pairs)
+
+
+def _collect_globals(body: Sequence[ast.stmt]) -> Tuple[str, ...]:
+    """Names ``global``-declared in this body (nested defs excluded)."""
+    found: Set[str] = set()
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Global):
+            found.update(node.names)
+            continue
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.stmt, ast.excepthandler)):
+                stack.append(child)
+    return tuple(sorted(found))
 
 
 class _FunctionExtractor:
@@ -458,6 +690,7 @@ class _FunctionExtractor:
         self._gate_vars = gate_vars
         self.ops: List[Op] = []
         self.nested_defs: List[ast.stmt] = []
+        self._lock_stack: List[str] = []
 
     def run(self, body: Sequence[ast.stmt]) -> Tuple[Op, ...]:
         for stmt in body:
@@ -474,22 +707,59 @@ class _FunctionExtractor:
             return  # classes nested in functions are out of scope
         if isinstance(stmt, ast.Assign):
             targets: List[str] = []
+            writes: List[Tuple[str, str]] = []
             for target in stmt.targets:
                 targets.extend(_flatten_targets(target))
-            self._add("assign", tuple(targets), stmt.value, stmt, gated)
+                writes.extend(_write_targets(target))
+            self._add(
+                "assign",
+                tuple(targets),
+                stmt.value,
+                stmt,
+                gated,
+                writes=tuple(writes),
+                alias=_alias_refs(stmt.value),
+            )
             return
         if isinstance(stmt, ast.AnnAssign):
             if stmt.value is not None:
                 self._add(
-                    "assign", tuple(_flatten_targets(stmt.target)), stmt.value, stmt, gated
+                    "assign",
+                    tuple(_flatten_targets(stmt.target)),
+                    stmt.value,
+                    stmt,
+                    gated,
+                    writes=tuple(_write_targets(stmt.target)),
+                    alias=_alias_refs(stmt.value),
                 )
             return
         if isinstance(stmt, ast.AugAssign):
             names = tuple(_flatten_targets(stmt.target))
+            writes = tuple(_write_targets(stmt.target))
             expr = self._expr(stmt.value, gated)
-            # x += y reads x as well
-            merged = ExprInfo(expr.names + names, expr.reads, expr.calls)
-            self.ops.append(Op("assign", names, merged, stmt.lineno, stmt.col_offset))
+            if names:
+                # x += y reads x as well
+                merged = ExprInfo(expr.names + names, expr.reads, expr.calls)
+            else:
+                # self.x += y: record the read side of the target too
+                target_expr = _build_expr(stmt.target, self._gate_vars, gated)
+                merged = ExprInfo(
+                    expr.names + target_expr.names,
+                    expr.reads + target_expr.reads,
+                    expr.calls + target_expr.calls,
+                )
+            self.ops.append(
+                Op(
+                    "assign",
+                    names,
+                    merged,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    writes=writes,
+                    awaited=_contains_await(stmt.value),
+                    locks=tuple(self._lock_stack),
+                )
+            )
             return
         if isinstance(stmt, ast.Return):
             self._add("return", (), stmt.value, stmt, gated)
@@ -506,7 +776,15 @@ class _FunctionExtractor:
                 self._statement(sub, gated)
             return
         if isinstance(stmt, (ast.For, ast.AsyncFor)):
-            self._add("assign", tuple(_flatten_targets(stmt.target)), stmt.iter, stmt, gated)
+            self._add(
+                "assign",
+                tuple(_flatten_targets(stmt.target)),
+                stmt.iter,
+                stmt,
+                gated,
+                writes=tuple(_write_targets(stmt.target)),
+                alias=_alias_refs(stmt.iter),
+            )
             for sub in stmt.body:
                 self._statement(sub, gated)
             for sub in stmt.orelse:
@@ -520,6 +798,7 @@ class _FunctionExtractor:
                 self._statement(sub, gated)
             return
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            pushed = 0
             for item in stmt.items:
                 if item.optional_vars is not None:
                     self._add(
@@ -528,11 +807,20 @@ class _FunctionExtractor:
                         item.context_expr,
                         stmt,
                         gated,
+                        writes=tuple(_write_targets(item.optional_vars)),
+                        alias=_alias_refs(item.context_expr),
                     )
                 else:
                     self._add("expr", (), item.context_expr, stmt, gated)
+                if isinstance(stmt, ast.With):
+                    lock = _lock_ref(item.context_expr)
+                    if lock is not None:
+                        self._lock_stack.append(lock)
+                        pushed += 1
             for sub in stmt.body:
                 self._statement(sub, gated)
+            if pushed:
+                del self._lock_stack[-pushed:]
             return
         if isinstance(stmt, ast.Try):
             for sub in stmt.body:
@@ -552,6 +840,26 @@ class _FunctionExtractor:
         if isinstance(stmt, ast.Assert):
             self._add("expr", (), stmt.test, stmt, gated)
             return
+        if isinstance(stmt, ast.Delete):
+            writes: List[Tuple[str, str]] = []
+            for target in stmt.targets:
+                if isinstance(target, ast.Attribute):
+                    writes.extend(_write_targets(target))
+                elif isinstance(target, ast.Subscript):
+                    writes.extend(_write_targets(target))
+            if writes:
+                self.ops.append(
+                    Op(
+                        "expr",
+                        (),
+                        EMPTY_EXPR,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        writes=tuple(writes),
+                        locks=tuple(self._lock_stack),
+                    )
+                )
+            return
         match_stmt = getattr(ast, "Match", None)  # absent on Python 3.9
         if match_stmt is not None and isinstance(stmt, match_stmt):
             self._add("expr", (), stmt.subject, stmt, gated)
@@ -559,8 +867,9 @@ class _FunctionExtractor:
                 for sub in case.body:
                     self._statement(sub, gated)
             return
-        # Pass / Break / Continue / Global / Nonlocal / Delete / Import:
-        # nothing flow-relevant (imports are collected module-wide).
+        # Pass / Break / Continue / Global / Nonlocal / Import: nothing
+        # flow-relevant here (imports and global decls are collected
+        # separately).
 
     # -- helpers -----------------------------------------------------------
 
@@ -581,9 +890,23 @@ class _FunctionExtractor:
         node: Optional[ast.expr],
         stmt: ast.stmt,
         gated: bool,
+        writes: Tuple[Tuple[str, str], ...] = (),
+        alias: Tuple[str, ...] = (),
     ) -> None:
         expr = self._expr(node, gated) if node is not None else EMPTY_EXPR
-        self.ops.append(Op(kind, targets, expr, stmt.lineno, stmt.col_offset))
+        self.ops.append(
+            Op(
+                kind,
+                targets,
+                expr,
+                stmt.lineno,
+                stmt.col_offset,
+                writes=writes,
+                alias=alias,
+                awaited=_contains_await(node),
+                locks=tuple(self._lock_stack),
+            )
+        )
 
 
 def _extract_function(
@@ -608,6 +931,9 @@ def _extract_function(
         line=getattr(node, "lineno", 1),
         ops=ops,
         nested=tuple(nested),
+        is_async=isinstance(node, ast.AsyncFunctionDef),
+        globals_declared=_collect_globals(body),
+        annotations=_annotations_of(node),
     )
 
 
@@ -720,24 +1046,38 @@ def extract_summary(
     module: str,
     path: str,
     is_package: bool = False,
+    shared_lines: Optional[Mapping[int, str]] = None,
 ) -> ModuleSummary:
     """One-pass extraction of the whole-program-relevant facts."""
     imports, stars = _collect_imports(tree, module, is_package)
     functions: Dict[str, FunctionInfo] = {}
     classes: Dict[str, Tuple[str, ...]] = {}
+    class_attrs: Dict[str, Tuple[str, ...]] = {}
     toplevel: List[ast.stmt] = []
     for node in tree.body:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             _extract_function(node, node.name, _params_of(node), node.body, functions)
         elif isinstance(node, ast.ClassDef):
             methods: List[str] = []
+            attrs: List[str] = []
             for sub in node.body:
                 if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     methods.append(sub.name)
                     _extract_function(
                         sub, f"{node.name}.{sub.name}", _params_of(sub), sub.body, functions
                     )
+                elif isinstance(sub, ast.Assign):
+                    # Plain class-body assignments only: AnnAssign names are
+                    # overwhelmingly dataclass fields (instance state), not
+                    # class-level shared state.
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name) and not target.id.startswith(
+                            "__"
+                        ):
+                            attrs.append(target.id)
             classes[node.name] = tuple(methods)
+            if attrs:
+                class_attrs[node.name] = tuple(attrs)
         else:
             toplevel.append(node)
     _extract_function(tree, "", (), toplevel, functions)
@@ -751,4 +1091,6 @@ def extract_summary(
         used_names=_collect_used_names(tree),
         exports=_collect_exports(tree),
         dead_candidates=_collect_dead_candidates(tree),
+        class_attrs=class_attrs,
+        shared_lines=dict(shared_lines or {}),
     )

@@ -3,10 +3,11 @@
 from .base import FileContext, Rule, all_rules, register, rule_ids
 from . import clock, determinism, mutables, oracle  # noqa: F401  (registration)
 
-# The whole-program rules (FLOW001/FLOW002/DEAD001) live in the flow
-# package; importing it registers them.  Imported last so the base/oracle
-# submodules it depends on are already initialised.
+# The whole-program rules live outside this package; importing them
+# registers them.  flow (FLOW001/FLOW002/DEAD001) first — conc
+# (PURE001/SHARE001/ASYNC001/ASYNC002) builds on its IR and base class.
 from .. import flow  # noqa: E402,F401  (registration)
+from .. import conc  # noqa: E402,F401  (registration)
 
 __all__ = [
     "FileContext",

@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Set, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Set, Type
 
 from ..findings import Finding
+
+if TYPE_CHECKING:  # runtime import would be circular (flow imports base)
+    from ..flow.index import ProjectIndex
 
 _REGISTRY: Dict[str, Type["Rule"]] = {}
 
@@ -80,8 +83,27 @@ class Rule:
 
     rule_id: str = ""
     summary: str = ""
+    #: SARIF code-scanning category (rendered into rule properties).
+    category: str = "general"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class WholeProgramRule(Rule):
+    """A rule that needs the whole project, not one file at a time.
+
+    The engine runs ``check_project`` once over the
+    :class:`~repro.lint.flow.index.ProjectIndex` after the per-file
+    phase; ``check`` contributes nothing.  Whole-program findings
+    honour the baseline but not inline ``allow()`` suppressions (their
+    sites are in *other* files than the cause).
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())  # whole-program rules contribute nothing per file
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
         raise NotImplementedError
 
 

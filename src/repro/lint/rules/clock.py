@@ -45,11 +45,26 @@ def is_wall_clock_exempt(module: str) -> bool:
 
 @register
 class SimClockRule(Rule):
+    """No wall-clock reads or real sleeps in simulation/attack code.
+
+    Rationale: the simulation runs on :class:`repro.osn.clock.SimClock`;
+    a stray ``time.time()`` / ``datetime.now()`` / ``time.sleep()``
+    couples results to the machine's clock (breaking determinism) or
+    stalls the run for real seconds.
+
+    Fix: thread the SimClock through and use ``clock.seconds()`` /
+    ``clock.sleep()``; wall-clock *measurement* belongs in
+    ``repro.telemetry`` (exempt) or benchmarks.
+
+    Suppression: ``# repro-lint: allow(CLOCK001) -- <why>`` on the line.
+    """
+
     rule_id = "CLOCK001"
     summary = (
         "no wall-clock reads or real sleeps outside repro.telemetry; "
         "use the SimClock"
     )
+    category = "sim-time"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if is_wall_clock_exempt(ctx.module):

@@ -102,11 +102,27 @@ def module_aliases(tree: ast.Module) -> Dict[str, str]:
 
 @register
 class SeededRandomnessRule(Rule):
+    """No module-global randomness, seeded or not.
+
+    Rationale: the reproduction's claims rest on bit-for-bit rerun
+    equivalence.  Module-level RNG state (``random.random()``, a shared
+    ``Random()`` instance, ``numpy.random.*`` free functions) couples
+    unrelated call sites through hidden global draws, so any reordering
+    changes results.
+
+    Fix: construct an explicitly seeded ``random.Random(seed)`` /
+    ``numpy.random.default_rng(seed)`` where it is used and pass it
+    down.
+
+    Suppression: ``# repro-lint: allow(DET001) -- <why>`` on the line.
+    """
+
     rule_id = "DET001"
     summary = (
         "no module-global randomness; use an explicitly seeded "
         "random.Random / numpy default_rng instance"
     )
+    category = "determinism"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         aliases = module_aliases(ctx.tree)

@@ -28,18 +28,48 @@ _MUTABLE_LITERALS = (
     ast.SetComp,
 )
 
+def _constructor_name(func: ast.expr) -> "str | None":
+    """Final identifier of a constructor expression.
+
+    Handles both the bare form (``defaultdict(...)``) and the
+    attribute-call form (``collections.defaultdict(...)``): only the
+    last path component decides mutability.
+    """
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
 def _is_mutable_default(node: ast.expr) -> bool:
     if isinstance(node, _MUTABLE_LITERALS):
         return True
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-        return node.func.id in MUTABLE_CONSTRUCTORS
+    if isinstance(node, ast.Call):
+        return _constructor_name(node.func) in MUTABLE_CONSTRUCTORS
     return False
 
 
 @register
 class MutableDefaultRule(Rule):
+    """No mutable default arguments, literal or call-constructed.
+
+    Rationale: a default is evaluated once at ``def`` time and shared
+    by every call; mutating it leaks state between invocations — and
+    here, between supposedly independent simulation runs.  Container
+    constructors (``dict()``, ``collections.defaultdict(list)``) are
+    exactly as dangerous as display literals.
+
+    Fix: default to ``None`` and build the container inside the
+    function, or use ``dataclasses.field(default_factory=...)``.
+
+    Suppression: ``# repro-lint: allow(MUT001) -- <why>`` on the line
+    (e.g. a deliberately shared sentinel that is never mutated).
+    """
+
     rule_id = "MUT001"
     summary = "no mutable default arguments (shared across calls)"
+    category = "hygiene"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

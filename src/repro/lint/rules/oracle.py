@@ -122,11 +122,27 @@ def import_targets(ctx: FileContext, node: ast.AST) -> List[str]:
 
 @register
 class OracleImportRule(Rule):
+    """Attacker layers must not import simulator internals.
+
+    Rationale: the paper's threat model gives the attacker only what a
+    real crawler sees — rendered pages.  An import of ``repro.worldgen``
+    or a non-public ``repro.osn`` module lets attack code read ground
+    truth it could never observe, silently inflating results.
+
+    Fix: consume the crawler-visible vocabulary (``repro.osn.public``)
+    or route the access through the evaluation seam
+    (``repro.core.oracle``).
+
+    Suppression: ``# repro-lint: allow(ORACLE001) -- <why>`` on the
+    import line (evaluation-only helpers).
+    """
+
     rule_id = "ORACLE001"
     summary = (
         "attacker layers (repro.crawler, repro.core) must not import "
         "repro.worldgen or non-public repro.osn internals"
     )
+    category = "boundary"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not is_attacker_module(ctx.module):
@@ -148,11 +164,26 @@ class OracleImportRule(Rule):
 
 @register
 class OracleAttributeRule(Rule):
+    """Attacker layers must not read ground-truth attributes.
+
+    Rationale: even without a forbidden import, an attribute chain like
+    ``world.population`` or ``frontend.network`` reaches state the
+    attacker cannot see; results computed from it measure nothing.
+
+    Fix: score through :class:`repro.core.oracle.GroundTruthOracle`
+    (the one sanctioned evaluation seam) or parse it out of fetched
+    pages like the crawler does.
+
+    Suppression: ``# repro-lint: allow(ORACLE002) -- <why>`` on the
+    reading line.
+    """
+
     rule_id = "ORACLE002"
     summary = (
         "attacker layers must not read ground-truth attributes "
         "(world.population, .ground_truth, frontend.network, ...)"
     )
+    category = "boundary"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not is_attacker_module(ctx.module):

@@ -24,13 +24,16 @@ _BUILTIN_DESCRIPTIONS = {
     "LINT002": "file could not be read or parsed",
 }
 
+#: Category shown for engine diagnostics and unregistered rule ids.
+_FALLBACK_CATEGORY = "lint-infra"
+
 
 def render_sarif(report: LintReport, rules: Sequence[Rule]) -> str:
     """The report as a SARIF 2.1.0 JSON document (deterministic)."""
     catalogue: List[Dict[str, Any]] = []
     index_of: Dict[str, int] = {}
 
-    def add_rule(rule_id: str, description: str) -> None:
+    def add_rule(rule_id: str, description: str, category: str) -> None:
         if rule_id in index_of:
             return
         index_of[rule_id] = len(catalogue)
@@ -39,15 +42,16 @@ def render_sarif(report: LintReport, rules: Sequence[Rule]) -> str:
                 "id": rule_id,
                 "shortDescription": {"text": description},
                 "defaultConfiguration": {"level": "error"},
+                "properties": {"category": category},
             }
         )
 
     for rule in sorted(rules, key=lambda r: r.rule_id):
-        add_rule(rule.rule_id, rule.summary)
+        add_rule(rule.rule_id, rule.summary, rule.category)
     for rule_id, description in sorted(_BUILTIN_DESCRIPTIONS.items()):
-        add_rule(rule_id, description)
+        add_rule(rule_id, description, _FALLBACK_CATEGORY)
     for finding in report.findings:  # never emit a dangling ruleIndex
-        add_rule(finding.rule, "(unregistered rule)")
+        add_rule(finding.rule, "(unregistered rule)", _FALLBACK_CATEGORY)
 
     results = [
         {

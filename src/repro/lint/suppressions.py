@@ -9,27 +9,60 @@ force a human to write down *why* the boundary may be crossed here, so
 an empty justification is itself a finding (``LINT001``) and the
 suppression is ignored.  Several rules may be listed, comma-separated.
 
+Shared mutable state (SHARE001) uses a dedicated form that also names
+the *owner* of the state, so the annotation documents who is allowed
+to coordinate writers::
+
+    self._states[account] = state  # repro-lint: shared(RateLimiter) -- keyed per account
+
 Directives are recognised only in real comment tokens (via
-:mod:`tokenize`), never inside string literals.
+:mod:`tokenize`), never inside string literals.  When the module AST is
+supplied, a directive on any physical line of a multi-line *simple*
+statement covers the whole statement, a directive on a compound
+statement's header lines covers the header, and a directive on a
+decorated ``def``/``class`` covers the decorators plus the signature —
+so black-style reflowing never silently detaches a suppression from
+its finding.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .findings import Finding
 
 #: Rule id for malformed / unjustified suppression directives.
 DIRECTIVE_RULE = "LINT001"
 
+#: Safety valve: never let one directive blanket more lines than this.
+_MAX_SPAN = 50
+
 _DIRECTIVE_RE = re.compile(r"#\s*repro-lint:\s*(?P<body>.*)$")
 _ALLOW_RE = re.compile(
     r"^allow\(\s*(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)\s*\)"
     r"(?:\s*--\s*(?P<why>.*))?$"
+)
+_SHARED_RE = re.compile(
+    r"^shared\(\s*(?P<owner>[A-Za-z_][A-Za-z0-9_.]*)\s*\)"
+    r"(?:\s*--\s*(?P<why>.*))?$"
+)
+
+_COMPOUND_STMTS = (
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
 )
 
 
@@ -39,6 +72,8 @@ class SuppressionTable:
 
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
     findings: List[Finding] = field(default_factory=list)
+    #: line -> declared owner for ``shared(owner)`` annotations (SHARE001).
+    shared_by_line: Dict[int, str] = field(default_factory=dict)
 
     def suppresses(self, line: int, rule: str) -> bool:
         # Directive problems are never self-suppressible.
@@ -47,13 +82,17 @@ class SuppressionTable:
         return rule in self.by_line.get(line, ())
 
 
-def parse_suppressions(source: str, path: str) -> SuppressionTable:
+def parse_suppressions(
+    source: str, path: str, tree: Optional[ast.Module] = None
+) -> SuppressionTable:
     """Extract every ``# repro-lint:`` directive from ``source``.
 
     Assumes the source already parsed as Python (the engine only calls
-    this after a successful ``ast.parse``), so tokenization succeeds.
+    this after a successful ``ast.parse``, which also supplies ``tree``
+    for statement-span expansion), so tokenization succeeds.
     """
     table = SuppressionTable()
+    spans = _statement_spans(tree) if tree is not None else []
     for token in tokenize.generate_tokens(io.StringIO(source).readline):
         if token.type != tokenize.COMMENT:
             continue
@@ -61,7 +100,7 @@ def parse_suppressions(source: str, path: str) -> SuppressionTable:
         if match is None:
             continue
         line = token.start[0]
-        rules, problem = _parse_body(match.group("body").strip())
+        rules, owner, problem = _parse_body(match.group("body").strip())
         if problem is not None:
             table.findings.append(
                 Finding(
@@ -73,23 +112,74 @@ def parse_suppressions(source: str, path: str) -> SuppressionTable:
                 )
             )
             continue
-        table.by_line.setdefault(line, set()).update(rules)
+        for covered in _covered_lines(line, spans):
+            if rules:
+                table.by_line.setdefault(covered, set()).update(rules)
+            if owner is not None:
+                table.shared_by_line[covered] = owner
     return table
 
 
-def _parse_body(body: str) -> Tuple[Set[str], "str | None"]:
-    """Return (rule ids, problem message); exactly one side is meaningful."""
+def _parse_body(body: str) -> Tuple[Set[str], Optional[str], Optional[str]]:
+    """Return (allow rules, shared owner, problem); one side is meaningful."""
     match = _ALLOW_RE.match(body)
-    if match is None:
-        return set(), (
-            "malformed repro-lint directive; expected "
-            "'# repro-lint: allow(RULE[, RULE]) -- justification'"
-        )
-    why = match.group("why")
-    if why is None or not why.strip():
-        return set(), (
-            "suppression is missing its justification; write "
-            "'allow(RULE) -- <why this boundary crossing is sound>'"
-        )
-    rules = {part.strip() for part in match.group("rules").split(",")}
-    return rules, None
+    if match is not None:
+        why = match.group("why")
+        if why is None or not why.strip():
+            return set(), None, (
+                "suppression is missing its justification; write "
+                "'allow(RULE) -- <why this boundary crossing is sound>'"
+            )
+        rules = {part.strip() for part in match.group("rules").split(",")}
+        return rules, None, None
+    shared = _SHARED_RE.match(body)
+    if shared is not None:
+        why = shared.group("why")
+        if why is None or not why.strip():
+            return set(), None, (
+                "shared-state annotation is missing its justification; write "
+                "'shared(Owner) -- <why concurrent writers are coordinated>'"
+            )
+        return set(), shared.group("owner"), None
+    return set(), None, (
+        "malformed repro-lint directive; expected "
+        "'# repro-lint: allow(RULE[, RULE]) -- justification' or "
+        "'# repro-lint: shared(Owner) -- justification'"
+    )
+
+
+def _statement_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """(start, end) line spans a directive anywhere inside should cover.
+
+    Simple statements contribute their full physical extent; compound
+    statements contribute only their *header* (keyword line through the
+    line before the first body statement) so an ``allow`` on an ``if``
+    condition does not blanket the suite.  Decorated definitions extend
+    back to the first decorator line.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if isinstance(node, _COMPOUND_STMTS):
+            start = node.lineno
+            decorators = getattr(node, "decorator_list", None)
+            if decorators:
+                start = min(start, decorators[0].lineno)
+            body = getattr(node, "body", None)
+            header_end = body[0].lineno - 1 if body else end
+            span = (start, max(start, header_end))
+        else:
+            span = (node.lineno, end)
+        if span[1] > span[0] and span[1] - span[0] < _MAX_SPAN:
+            spans.append(span)
+    return spans
+
+
+def _covered_lines(line: int, spans: List[Tuple[int, int]]) -> Iterable[int]:
+    covered = {line}
+    for start, end in spans:
+        if start <= line <= end:
+            covered.update(range(start, end + 1))
+    return sorted(covered)

@@ -47,8 +47,8 @@ class SimClock:
         """Advance the clock by ``seconds`` without real-world waiting."""
         if seconds < 0:
             raise ValueError(f"cannot sleep a negative duration: {seconds}")
-        self._elapsed_seconds += seconds
-        self.now_year += seconds / SECONDS_PER_YEAR
+        self._elapsed_seconds += seconds  # repro-lint: shared(SimClock) -- simulated time is one global timeline by definition; the scheduler serialises advances
+        self.now_year += seconds / SECONDS_PER_YEAR  # repro-lint: shared(SimClock) -- same global timeline as _elapsed_seconds
 
     def advance_years(self, years: float) -> None:
         """Advance the calendar by ``years`` (used by world generators)."""

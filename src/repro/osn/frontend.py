@@ -5,10 +5,14 @@ touch.  Each ``get()`` is one simulated HTTP GET: it authenticates the
 session account, charges the rate limiter, routes the path, renders the
 policy-filtered result to HTML and returns the string — mirroring how
 the paper's crawler "visits public Web pages in Facebook and downloads
-the HTML source code of each Web page" (Section 3.2).
+the HTML source code of each Web page" (Section 3.2).  Actions that
+change world state (messages, friend requests) go through ``post()``:
+the GET surface is read-only end to end, which is the invariant the
+PURE001 lint rule proves over the whole call graph so concurrent
+sessions can serve off one shared world.
 
-Routes
-------
+GET routes
+----------
 ``/find-friends/browser?school=<id>&offset=<n>``
     The Find Friends Portal, paginated (AJAX-style offsets).
 ``/graphsearch?school=<id>[&year_op=..&year=..][&city=..][&current=1]``
@@ -19,6 +23,9 @@ Routes
     One page (20 rows) of a friend list.
 ``/school/<id>``
     School directory entry (name, city, enrollment hint).
+
+POST routes
+-----------
 ``/messages/send?to=<uid>&text=...``
     Send a direct message (policy permitting) - a confirmation page or
     a 403 mirrors whether the Message button was available.
@@ -30,7 +37,8 @@ from __future__ import annotations
 
 import re
 import time
-from typing import TYPE_CHECKING, Dict, Mapping, Optional
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional
 
 from . import pages
 from .errors import (
@@ -67,7 +75,7 @@ _OUTCOMES: Dict[type, str] = {
 
 
 class HtmlFrontend:
-    """Serve the social network as HTML pages, one GET at a time."""
+    """Serve the social network as HTML pages, one request at a time."""
 
     def __init__(
         self,
@@ -77,7 +85,6 @@ class HtmlFrontend:
     ) -> None:
         self.network = network
         self.limiter = RateLimiter(network.clock, rate_limit, telemetry=telemetry)
-        self.request_count = 0
         self.telemetry = telemetry
         if telemetry is not None:
             self._init_metrics(telemetry)
@@ -92,6 +99,15 @@ class HtmlFrontend:
         """
         return self.network.clock
 
+    @property
+    def request_count(self) -> int:
+        """Requests served past authentication and the rate limiter.
+
+        Derived from the per-account limiter counters rather than a
+        frontend-level mutable — the serve path itself holds no state.
+        """
+        return self.limiter.total_served
+
     def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
         """Attach (or detach) observability; also covers the rate limiter."""
         self.telemetry = telemetry
@@ -102,16 +118,16 @@ class HtmlFrontend:
     def _init_metrics(self, telemetry: "Telemetry") -> None:
         self._requests_metric = telemetry.registry.counter(
             "frontend_requests_total",
-            "HTTP GET attempts served by the OSN frontend, by outcome",
+            "HTTP requests served by the OSN frontend, by outcome",
             labelnames=("outcome",),
         )
         self._wall_metric = telemetry.registry.histogram(
             "frontend_request_wall_seconds",
-            "Wall-clock time spent serving one GET",
+            "Wall-clock time spent serving one request",
         )
 
     # ------------------------------------------------------------------
-    # Entry point
+    # Entry points
     # ------------------------------------------------------------------
     def get(
         self,
@@ -119,14 +135,35 @@ class HtmlFrontend:
         path: str,
         params: Optional[Mapping[str, str]] = None,
     ) -> str:
-        """Perform one authenticated GET and return the page HTML."""
+        """Perform one authenticated GET and return the page HTML.
+
+        Strictly read-only: no world mutation is reachable from here
+        (machine-checked by PURE001).
+        """
+        with self._measured(account_id, path):
+            return self._serve_read(account_id, path, params)
+
+    def post(
+        self,
+        account_id: int,
+        path: str,
+        params: Optional[Mapping[str, str]] = None,
+    ) -> str:
+        """Perform one authenticated state-changing POST."""
+        with self._measured(account_id, path):
+            return self._serve_write(account_id, path, params)
+
+    @contextmanager
+    def _measured(self, account_id: int, path: str) -> Iterator[None]:
+        """Request-telemetry envelope shared by the GET and POST paths."""
         telemetry = self.telemetry
         if telemetry is None:
-            return self._serve(account_id, path, params)
+            yield
+            return
         wall_start = time.perf_counter()
         outcome = "ok"
         try:
-            return self._serve(account_id, path, params)
+            yield
         except OsnError as exc:
             outcome = _OUTCOMES.get(type(exc), "error")
             raise
@@ -142,16 +179,14 @@ class HtmlFrontend:
                 wall_seconds=wall,
             )
 
-    def _serve(
+    def _serve_read(
         self,
         account_id: int,
         path: str,
         params: Optional[Mapping[str, str]] = None,
     ) -> str:
-        """Authenticate, charge the limiter, route (telemetry-free core)."""
-        self._authenticate(account_id)
-        self.limiter.check(account_id)
-        self.request_count += 1
+        """Authenticate, charge the limiter, route a read (telemetry-free)."""
+        self._admit(account_id)
         params = dict(params or {})
 
         if path == "/find-friends/browser":
@@ -167,11 +202,28 @@ class HtmlFrontend:
         match = _SCHOOL_RE.match(path)
         if match:
             return self._school(int(match.group(1)))
+        raise NotFoundError(f"no GET route for {path!r}")
+
+    def _serve_write(
+        self,
+        account_id: int,
+        path: str,
+        params: Optional[Mapping[str, str]] = None,
+    ) -> str:
+        """Authenticate, charge the limiter, route an action (POST)."""
+        self._admit(account_id)
+        params = dict(params or {})
+
         if path == "/messages/send":
             return self._send_message(account_id, params)
         if path == "/friend-request":
             return self._friend_request(account_id, params)
-        raise NotFoundError(f"no route for {path!r}")
+        raise NotFoundError(f"no POST route for {path!r}")
+
+    def _admit(self, account_id: int) -> None:
+        """Session auth + rate-limit charge, shared by both verbs."""
+        self._authenticate(account_id)
+        self.limiter.check(account_id)
 
     def _authenticate(self, account_id: int) -> None:
         account = self.network.users.get(account_id)

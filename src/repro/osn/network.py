@@ -105,7 +105,6 @@ class SocialNetwork:
         self._next_user_id = 1
         self._next_school_id = 1
         self._school_members: Dict[int, List[int]] = {}
-        self._school_index_dirty = True
 
     # ------------------------------------------------------------------
     # Directory management
@@ -116,7 +115,6 @@ class SocialNetwork:
         school = School(self._next_school_id, name, city, enrollment_hint)
         self._next_school_id += 1
         self.schools[school.school_id] = school
-        self._school_index_dirty = True
         return school
 
     def get_school(self, school_id: int) -> School:
@@ -174,8 +172,20 @@ class SocialNetwork:
         self._next_user_id += 1
         self.users[account.user_id] = account
         self.graph.add_node(account.user_id)
-        self._school_index_dirty = True
+        self._index_member(account)
         return account
+
+    def _index_member(self, account: Account) -> None:
+        """Eagerly index the account's school affiliations.
+
+        User ids are handed out in increasing order, so appending keeps
+        each member list sorted — same order the old full rebuild
+        produced with ``sorted(self.users)``.
+        """
+        for affiliation in account.profile.high_schools:
+            self._school_members.setdefault(affiliation.school_id, []).append(
+                account.user_id
+            )
 
     def _default_settings(self, registered_birthday: Birthday) -> PrivacySettings:
         age_now = registered_birthday.age_at(self.clock.now_year)
@@ -337,18 +347,13 @@ class SocialNetwork:
     # Search
     # ------------------------------------------------------------------
     def _school_member_ids(self, school_id: int) -> List[int]:
-        """All user ids whose profile lists ``school_id`` (any audience)."""
-        if self._school_index_dirty:
-            self._rebuild_school_index()
-        return self._school_members.get(school_id, [])
+        """All user ids whose profile lists ``school_id`` (any audience).
 
-    def _rebuild_school_index(self) -> None:
-        members: Dict[int, List[int]] = {}
-        for user_id in sorted(self.users):
-            for affiliation in self.users[user_id].profile.high_schools:
-                members.setdefault(affiliation.school_id, []).append(user_id)
-        self._school_members = members
-        self._school_index_dirty = False
+        Pure read: the index is maintained eagerly at registration time
+        (``_index_member``), never rebuilt lazily on the serve path —
+        PURE001 holds the whole search surface to read-only.
+        """
+        return self._school_members.get(school_id, [])
 
     def _search_pool(self, viewer_account_id: int, school_id: int) -> List[int]:
         """The truncated, per-account sample the Find Friends Portal serves.

@@ -13,12 +13,18 @@ with a sliding-window limiter driven by the simulated clock:
 A polite crawler that sleeps between requests (simulated time) never
 trips it; an aggressive one loses its accounts, exactly the trade-off
 the paper's "measurement effort" discussion is about.
+
+Concurrency shape: all sliding-window state lives on
+:class:`AccountRateLimiter`, one instance per account, handed out by
+``RateLimiter._limiter_for`` — so concurrent sessions on different
+accounts never touch each other's windows, and the only cross-account
+write is the registry insert (annotated for SHARE001).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, Optional
 
 from .clock import SimClock
@@ -45,15 +51,60 @@ class RateLimitConfig:
             raise ValueError("strikes_to_disable must be positive")
 
 
-@dataclass
-class _AccountState:
-    timestamps: Deque[float] = field(default_factory=deque)
+@dataclass(frozen=True)
+class ChargeOutcome:
+    """Result of charging one request against one account's window."""
+
+    status: str  # "ok" | "throttled" | "disabled" | "already_disabled"
+    retry_after: float = 0.0
     strikes: int = 0
-    disabled: bool = False
+
+
+class AccountRateLimiter:
+    """Sliding-window state for *one* account.
+
+    Everything mutable in the rate-limit path lives here, keyed per
+    account by :class:`RateLimiter`, so sessions crawling with
+    different accounts share no window/strike state.
+    """
+
+    def __init__(self, clock: SimClock, config: RateLimitConfig) -> None:
+        self.clock = clock
+        self.config = config
+        self.timestamps: Deque[float] = deque()
+        self.strikes = 0
+        self.disabled = False
+        self.served = 0
+
+    def charge(self) -> ChargeOutcome:
+        """Charge one request against this account's window."""
+        if self.disabled:
+            return ChargeOutcome("already_disabled", strikes=self.strikes)
+        now = self.clock.seconds()
+        horizon = now - self.config.window_seconds
+        stamps = self.timestamps
+        while stamps and stamps[0] <= horizon:
+            stamps.popleft()
+        if len(stamps) >= self.config.max_requests:
+            self.strikes += 1
+            if self.strikes >= self.config.strikes_to_disable:
+                self.disabled = True
+                return ChargeOutcome("disabled", strikes=self.strikes)
+            retry_after = max((stamps[0] + self.config.window_seconds) - now, 0.1)
+            return ChargeOutcome(
+                "throttled", retry_after=retry_after, strikes=self.strikes
+            )
+        stamps.append(now)
+        self.served += 1
+        return ChargeOutcome("ok", strikes=self.strikes)
+
+    def requests_in_window(self) -> int:
+        horizon = self.clock.seconds() - self.config.window_seconds
+        return sum(1 for t in self.timestamps if t > horizon)
 
 
 class RateLimiter:
-    """Sliding-window limiter over simulated time, per account."""
+    """Per-account sliding-window limiters over simulated time."""
 
     def __init__(
         self,
@@ -64,7 +115,7 @@ class RateLimiter:
         self.clock = clock
         self.config = config or RateLimitConfig()
         self.config.validate()
-        self._states: Dict[int, _AccountState] = {}
+        self._accounts: Dict[int, AccountRateLimiter] = {}
         self.telemetry = telemetry
         if telemetry is not None:
             self._init_metrics(telemetry)
@@ -85,57 +136,59 @@ class RateLimiter:
             "Accounts permanently disabled for aggressive crawling",
         )
 
+    def _limiter_for(self, account_id: int) -> AccountRateLimiter:
+        """The per-account limiter, created on first sight."""
+        limiter = self._accounts.get(account_id)
+        if limiter is None:
+            limiter = AccountRateLimiter(self.clock, self.config)
+            self._accounts[account_id] = limiter  # repro-lint: shared(RateLimiter) -- first-sight registry insert; per-account windows live on the inserted object
+        return limiter
+
     def check(self, account_id: int) -> None:
         """Record one request; raise if the account is over its budget."""
-        state = self._states.setdefault(account_id, _AccountState())
-        if state.disabled:
+        outcome = self._limiter_for(account_id).charge()
+        if outcome.status == "ok":
+            return
+        if outcome.status == "already_disabled":
             raise AccountDisabledError(
                 f"account {account_id} disabled for aggressive crawling"
             )
-        now = self.clock.seconds()
-        horizon = now - self.config.window_seconds
-        stamps = state.timestamps
-        while stamps and stamps[0] <= horizon:
-            stamps.popleft()
-        if len(stamps) >= self.config.max_requests:
-            state.strikes += 1
-            telemetry = self.telemetry
-            if state.strikes >= self.config.strikes_to_disable:
-                state.disabled = True
-                if telemetry is not None:
-                    self._strikes_metric.labels(account=str(account_id)).inc()
-                    self._disabled_metric.labels().inc()
-                    telemetry.emit(
-                        "account_disabled", account=account_id, strikes=state.strikes
-                    )
-                raise AccountDisabledError(
-                    f"account {account_id} disabled after {state.strikes} strikes"
-                )
-            retry_after = max((stamps[0] + self.config.window_seconds) - now, 0.1)
+        telemetry = self.telemetry
+        if outcome.status == "disabled":
             if telemetry is not None:
                 self._strikes_metric.labels(account=str(account_id)).inc()
+                self._disabled_metric.labels().inc()
                 telemetry.emit(
-                    "strike",
-                    account=account_id,
-                    strikes=state.strikes,
-                    retry_after=retry_after,
+                    "account_disabled", account=account_id, strikes=outcome.strikes
                 )
-            raise RateLimitedError(
-                f"account {account_id} over rate limit", retry_after=retry_after
+            raise AccountDisabledError(
+                f"account {account_id} disabled after {outcome.strikes} strikes"
             )
-        stamps.append(now)
+        if telemetry is not None:
+            self._strikes_metric.labels(account=str(account_id)).inc()
+            telemetry.emit(
+                "strike",
+                account=account_id,
+                strikes=outcome.strikes,
+                retry_after=outcome.retry_after,
+            )
+        raise RateLimitedError(
+            f"account {account_id} over rate limit", retry_after=outcome.retry_after
+        )
+
+    @property
+    def total_served(self) -> int:
+        """Requests that passed the limiter, across every account."""
+        return sum(limiter.served for limiter in self._accounts.values())
 
     def is_disabled(self, account_id: int) -> bool:
-        state = self._states.get(account_id)
-        return state is not None and state.disabled
+        limiter = self._accounts.get(account_id)
+        return limiter is not None and limiter.disabled
 
     def strikes(self, account_id: int) -> int:
-        state = self._states.get(account_id)
-        return 0 if state is None else state.strikes
+        limiter = self._accounts.get(account_id)
+        return 0 if limiter is None else limiter.strikes
 
     def requests_in_window(self, account_id: int) -> int:
-        state = self._states.get(account_id)
-        if state is None:
-            return 0
-        horizon = self.clock.seconds() - self.config.window_seconds
-        return sum(1 for t in state.timestamps if t > horizon)
+        limiter = self._accounts.get(account_id)
+        return 0 if limiter is None else limiter.requests_in_window()

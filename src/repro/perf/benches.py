@@ -285,10 +285,78 @@ def bench_worldgen_record(
     )
 
 
+def bench_lint(
+    paths: Optional[Any] = None,
+    jobs: int = 1,
+) -> Dict[str, Any]:
+    """Cold vs warm lint of the default targets: the CI gate's own cost.
+
+    Two runs against one fresh on-disk cache: the cold run parses every
+    file and runs all rules (including the whole-program flow and
+    concurrency passes); the warm run must serve the per-file phase
+    entirely from the cache — ``warm_files_reparsed`` carries
+    ``max_value=0``, so a cache-key bug that silently reverts lint CI
+    to cold cost fails the bench outright rather than just slowing it.
+    """
+    import tempfile
+
+    from repro.lint.cache import LintCache, rule_signature
+    from repro.lint.cli import default_paths
+    from repro.lint.engine import lint_paths
+    from repro.lint.rules import all_rules
+
+    targets = list(paths) if paths else default_paths()
+    rules = all_rules()
+    signature = rule_signature([rule.rule_id for rule in rules])
+
+    def one_run(cache_file: str) -> "tuple[float, Any]":
+        cache = LintCache(cache_file, signature)
+        start = time.perf_counter()
+        report = lint_paths(targets, rules=rules, cache=cache, jobs=jobs)
+        return time.perf_counter() - start, report
+
+    with tempfile.TemporaryDirectory(prefix="repro-lint-bench-") as tmp:
+        cache_file = f"{tmp}/cache.json"
+        cold_wall, cold = one_run(cache_file)
+        warm_wall, warm = one_run(cache_file)
+
+    metrics = {
+        "cold_files_per_second": metric(
+            cold.files_checked / cold_wall, "files/sec", "higher",
+            tolerance_pct=THROUGHPUT_TOLERANCE_PCT,
+        ),
+        "warm_files_per_second": metric(
+            warm.files_checked / warm_wall, "files/sec", "higher",
+            tolerance_pct=THROUGHPUT_TOLERANCE_PCT,
+        ),
+        "cold_wall_seconds": metric(cold_wall, "seconds", "info"),
+        "warm_wall_seconds": metric(warm_wall, "seconds", "info"),
+        "files_checked": metric(cold.files_checked, "count", "exact"),
+        "findings": metric(len(cold.findings), "count", "exact"),
+        "warm_cache_hits": metric(warm.cache_hits, "count", "exact"),
+        "warm_files_reparsed": metric(
+            warm.files_reparsed, "count", "exact", max_value=0
+        ),
+        "peak_rss_bytes": metric(
+            peak_rss_bytes(), "bytes", "lower", tolerance_pct=RSS_TOLERANCE_PCT
+        ),
+    }
+    return new_record(
+        "lint",
+        params={
+            "targets": ",".join(targets),
+            "jobs": jobs,
+            "rules": len(rules),
+        },
+        metrics=metrics,
+    )
+
+
 #: name -> runner, the ``bench run`` registry.
 BENCH_RUNNERS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "crawl": bench_crawl,
     "attack": bench_attack,
     "linkage": bench_linkage,
     "worldgen": bench_worldgen_record,
+    "lint": bench_lint,
 }

@@ -41,7 +41,7 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     run.add_argument(
         "--bench",
         action="append",
-        choices=("crawl", "attack", "linkage", "worldgen"),
+        choices=("crawl", "attack", "linkage", "worldgen", "lint"),
         default=None,
         help="which benchmark to run (repeatable; default: all three hot paths)",
     )
@@ -55,6 +55,13 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     run.add_argument("--accounts", type=int, default=2, help="fake crawl accounts")
     run.add_argument(
         "--tier", default="smoke", help="worldgen tier (worldgen bench only)"
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint worker processes (lint bench only)",
     )
     run.add_argument(
         "--profile-top",
@@ -123,16 +130,22 @@ def cmd_run(args: argparse.Namespace) -> int:
     names = list(args.bench or ())
     if args.all or not names:
         names = [n for n in DEFAULT_BENCHES if n not in names] + names
-        names.sort(key=("crawl", "attack", "linkage", "worldgen").index)
+        names.sort(key=("crawl", "attack", "linkage", "worldgen", "lint").index)
     os.makedirs(args.out, exist_ok=True)
     for name in names:
         runner = BENCH_RUNNERS[name]
-        kwargs: Dict[str, Any] = {"profile_top": args.profile_top}
+        kwargs: Dict[str, Any] = {}
         if name == "worldgen":
-            kwargs.update(tier_name=args.tier, seed=args.seed or 1)
+            kwargs.update(
+                tier_name=args.tier, seed=args.seed or 1,
+                profile_top=args.profile_top,
+            )
+        elif name == "lint":
+            kwargs.update(jobs=args.jobs)
         else:
             kwargs.update(
-                preset_name=args.preset, seed=args.seed, accounts=args.accounts
+                preset_name=args.preset, seed=args.seed,
+                accounts=args.accounts, profile_top=args.profile_top,
             )
         record = runner(**kwargs)
         path = os.path.join(args.out, f"BENCH_{name}.json")

@@ -46,6 +46,7 @@ UNITS = frozenset(
         "pages/sec",
         "accounts/sec",
         "pairs/sec",
+        "files/sec",
         "bytes",
         "count",
         "ratio",

@@ -100,6 +100,92 @@ class TestSuppressions:
         )
         assert findings == []
 
+    def test_directive_on_last_line_of_multiline_statement(self):
+        findings = lint_source(
+            "from repro.worldgen.world import (\n"
+            "    World,\n"
+            ")  # repro-lint: allow(ORACLE001) -- reflowed import, directive stays attached\n",
+            module="repro.core.fake",
+        )
+        assert findings == []
+
+    def test_directive_on_decorated_def_header(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import functools
+
+                @functools.lru_cache(maxsize=None)
+                def f(
+                    xs=[],
+                ):  # repro-lint: allow(MUT001) -- fixture: never mutated after construction
+                    return xs
+                """
+            ),
+            module="repro.osn.fake",
+        )
+        assert findings == []
+
+    def test_directive_on_decorator_line_covers_the_signature(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                import functools
+
+                @functools.lru_cache(maxsize=None)  # repro-lint: allow(MUT001) -- fixture
+                def f(xs=[]):
+                    return xs
+                """
+            ),
+            module="repro.osn.fake",
+        )
+        assert findings == []
+
+    def test_compound_header_directive_does_not_blanket_the_suite(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                def g(flag):  # repro-lint: allow(MUT001) -- header only
+                    def inner(xs=[]):
+                        return xs
+                    return inner
+                """
+            ),
+            module="repro.osn.fake",
+        )
+        assert [f.rule for f in findings] == ["MUT001"]
+
+
+class TestSharedDirective:
+    def test_shared_without_why_is_flagged(self):
+        findings = lint_source(
+            "x = 1  # repro-lint: shared(Registry)\n",
+            module="repro.osn.fake",
+        )
+        assert [f.rule for f in findings] == [DIRECTIVE_RULE]
+
+    def test_shared_without_owner_is_malformed(self):
+        findings = lint_source(
+            "x = 1  # repro-lint: shared() -- nobody owns this\n",
+            module="repro.osn.fake",
+        )
+        assert [f.rule for f in findings] == [DIRECTIVE_RULE]
+
+    def test_shared_does_not_suppress_other_rules(self):
+        findings = lint_source(
+            "from repro.worldgen.world import World  "
+            "# repro-lint: shared(World) -- sharing is not allowing\n",
+            module="repro.core.fake",
+        )
+        assert [f.rule for f in findings] == ["ORACLE001"]
+
+    def test_valid_shared_directive_is_not_a_finding(self):
+        findings = lint_source(
+            "x = 1  # repro-lint: shared(Registry) -- single-writer registry\n",
+            module="repro.osn.fake",
+        )
+        assert findings == []
+
 
 # ----------------------------------------------------------------------
 # Baseline

@@ -339,6 +339,25 @@ class TestMut001:
         )
         assert "MUT001" in _rules(findings)
 
+    def test_fires_on_attribute_call_constructor_default(self):
+        findings = _lint(
+            """
+            import collections
+
+            def f(cache=collections.defaultdict(list)):
+                return cache
+            """,
+            module="repro.osn.fake",
+        )
+        assert "MUT001" in _rules(findings)
+
+    def test_fires_on_lambda_and_kwonly_defaults(self):
+        findings = _lint(
+            "g = lambda acc=set(): acc\n",
+            module="repro.osn.fake",
+        )
+        assert "MUT001" in _rules(findings)
+
     def test_clean_on_none_default(self):
         findings = _lint(
             """

@@ -156,5 +156,5 @@ class TestOffByDefault:
 
         client = make_client(tiny_world, accounts=2)
         assert client.telemetry is None
-        assert client.pacer.telemetry is None
+        assert client.pacer_for(client.pool.account_ids[0]).telemetry is None
         assert tiny_world.frontend.telemetry is None

@@ -335,6 +335,76 @@ def cmd_worldgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_crawl(args: argparse.Namespace) -> int:
+    """Concurrent school crawl through the async engine."""
+    from repro.colgen import generate
+    from repro.colgen.serve import (
+        columnar_frontend,
+        first_school_id,
+        frontend_for_object_world,
+        session_accounts,
+    )
+    from repro.crawler.accounts import AccountPool
+    from repro.crawler.client import CrawlClient
+    from repro.crawler.engine import CrawlPlan, CrawlScheduler
+    from repro.osn.rendercache import RenderCache
+
+    cache = RenderCache() if args.cache else None
+    if args.tier:
+        if args.serve != "columnar":
+            print(
+                "error: --tier worlds have no object representation; "
+                "use --serve columnar",
+                file=sys.stderr,
+            )
+            return 2
+        columnar = generate(args.tier, seed=args.seed or 1)
+        frontend = columnar_frontend(columnar, cache=cache)
+        uids = session_accounts(frontend, args.accounts)
+        school_id = first_school_id(frontend)
+        label = f"tier={args.tier}"
+        seed = columnar.seed
+    else:
+        world = _build_world_from(args)
+        if args.serve == "columnar":
+            frontend = frontend_for_object_world(world, cache=cache)
+            uids = session_accounts(frontend, args.accounts)
+        else:
+            frontend = world.frontend
+            if cache is not None:
+                frontend.set_cache(cache)
+            uids = world.create_attacker_accounts(args.accounts)
+        school_id = world.school().school_id
+        label = f"preset={args.preset}"
+        seed = world.config.seed
+
+    client = CrawlClient(frontend, AccountPool.of(uids), seed=seed)
+    plan = CrawlPlan(school_id=school_id, max_profiles=args.budget)
+    result = CrawlScheduler(client, plan, jobs=args.jobs).run()
+
+    effort = result.effort
+    rows = [
+        ("world", f"{label} seed={seed} serve={args.serve}"),
+        ("accounts", str(len(uids))),
+        ("pages", str(result.pages)),
+        ("sim_seconds", f"{result.sim_seconds:.1f}"),
+        ("pages_per_sim_second", f"{result.pages_per_sim_second:.3f}"),
+        ("seeds", str(len(result.seeds))),
+        ("profiles", str(len(result.profiles))),
+        ("friend_lists", str(len(result.friend_lists))),
+        ("seed_requests", str(effort.seed_requests)),
+        ("profile_requests", str(effort.profile_requests)),
+        ("friend_list_requests", str(effort.friend_list_requests)),
+    ]
+    if result.cache_stats is not None:
+        rows.append(
+            ("cache_hit_rate", f"{result.cache_stats['hit_rate'] * 100:.1f}%")
+        )
+        rows.append(("cache_entries", str(int(result.cache_stats["entries"]))))
+    print(ascii_table(("metric", "value"), rows, title="Concurrent crawl"))
+    return 0
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     world = _build_world_from(args)
     export_world_json(world, args.output, include_individuals=args.full)
@@ -427,6 +497,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated world seeds",
     )
     robustness.set_defaults(func=cmd_robustness)
+
+    crawl = sub.add_parser(
+        "crawl",
+        help="run the async multi-account crawl engine against one school",
+    )
+    _add_world_args(crawl)
+    crawl.add_argument(
+        "--serve",
+        choices=("object", "columnar"),
+        default="object",
+        help="serving path: per-account objects or the columnar world",
+    )
+    crawl.add_argument(
+        "--tier",
+        choices=("smoke", "paper", "city", "metro"),
+        default=None,
+        help="crawl a native columnar tier instead of a preset "
+        "(implies --serve columnar)",
+    )
+    crawl.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the crawl at N profiles (and their friend lists)",
+    )
+    crawl.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="tie-broken wake-ups released per scheduler turn "
+        "(results are identical for every value)",
+    )
+    crawl.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="LRU render cache on the serving side (--no-cache disables)",
+    )
+    crawl.set_defaults(func=cmd_crawl)
 
     export = sub.add_parser("export", help="export a world snapshot to JSON")
     _add_world_args(export)

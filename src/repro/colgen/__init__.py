@@ -22,13 +22,22 @@ from .columns import (
     ColumnarWorld,
     PeopleColumns,
     PRIVACY_FIELD_ORDER,
+    ProfileColumns,
     StringTable,
+    decode_profile,
     pack_privacy,
     unpack_privacy,
 )
 from .csr import CSRGraph
 from .encode import encode_world
 from .generate import generate
+from .serve import (
+    ColumnarNetwork,
+    columnar_frontend,
+    first_school_id,
+    frontend_for_object_world,
+    session_accounts,
+)
 from .tiers import TIER_NAMES, TIERS, TierSpec, tier
 from .views import PopulationView, person_view
 
@@ -36,17 +45,24 @@ __all__ = [
     "AccountColumns",
     "CSRGraph",
     "ColgenDependencyError",
+    "ColumnarNetwork",
     "ColumnarWorld",
     "HAS_NUMPY",
     "PRIVACY_FIELD_ORDER",
     "PeopleColumns",
     "PopulationView",
+    "ProfileColumns",
     "StringTable",
+    "columnar_frontend",
+    "decode_profile",
     "TIERS",
     "TIER_NAMES",
     "TierSpec",
     "bench_worldgen",
     "encode_world",
+    "first_school_id",
+    "frontend_for_object_world",
+    "session_accounts",
     "generate",
     "pack_privacy",
     "peak_rss_bytes",

@@ -29,6 +29,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.osn.privacy import Audience, PrivacySettings, ProfileField
+from repro.osn.profile import (
+    Birthday,
+    ContactInfo,
+    Gender,
+    Name,
+    Profile,
+    SchoolAffiliation,
+    WallPost,
+)
 
 from .backend import FloatBuffer, IntBuffer, buffer_nbytes
 from .csr import CSRGraph
@@ -160,6 +169,130 @@ class AccountColumns:
         return sum(buffer_nbytes(getattr(self, f)) for f in self.__dataclass_fields__)
 
 
+#: Gender ordinals for :class:`ProfileColumns` (mirrors views.GENDER_ORDER;
+#: duplicated here so columns.py stays import-cycle-free with views.py).
+GENDER_ORDER: Tuple[Gender, ...] = tuple(Gender)
+
+
+@dataclass
+class ProfileColumns:
+    """Every account's *profile* as parallel columns (row == account row).
+
+    Filled by :func:`~repro.colgen.encode.encode_world` so the columnar
+    serve path (:mod:`repro.colgen.serve`) can rebuild each
+    :class:`~repro.osn.profile.Profile` exactly — field-for-field equal
+    to the object world's, which is what makes columnar page serving
+    byte-identical.  Native vectorised tiers carry no profile columns
+    (``ColumnarWorld.profiles is None``) and serve a documented
+    synthesised projection instead.
+
+    Variable-length fields (networks, school affiliations, wall posts)
+    are ragged arrays: ``<x>_indptr`` of length ``n_accounts + 1``
+    delimits row ``i``'s slice of the value columns, CSR-style.  All
+    strings are ids into one shared profile vocabulary; ``-1`` is
+    ``None`` throughout.
+    """
+
+    first_name_id: IntBuffer
+    last_name_id: IntBuffer
+    gender: IntBuffer              # Gender ordinal (GENDER_ORDER)
+    has_profile_photo: IntBuffer
+    has_birthday: IntBuffer        # whether profile.birthday was set
+    birthday_year: IntBuffer       # -1 when no birthday
+    birthday_fraction: FloatBuffer
+    relationship_id: IntBuffer
+    interested_in_id: IntBuffer
+    hometown_id: IntBuffer
+    current_city_id: IntBuffer
+    employer_id: IntBuffer
+    graduate_school_id: IntBuffer
+    photo_count: IntBuffer
+    has_contact: IntBuffer         # whether profile.contact_info was set
+    contact_email_id: IntBuffer
+    contact_phone_id: IntBuffer
+    contact_im_id: IntBuffer
+    contact_street_id: IntBuffer
+    networks_indptr: IntBuffer
+    network_id: IntBuffer
+    hs_indptr: IntBuffer
+    hs_school_id: IntBuffer
+    hs_name_id: IntBuffer
+    hs_grad_year: IntBuffer        # -1 when no graduation year
+    wall_indptr: IntBuffer
+    wall_author: IntBuffer
+    wall_text_id: IntBuffer
+
+    def __len__(self) -> int:
+        return len(self.gender)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buffer_nbytes(getattr(self, f)) for f in self.__dataclass_fields__)
+
+
+def decode_profile(
+    cols: ProfileColumns, strings: "StringTable", row: int
+) -> Profile:
+    """Rebuild row ``row``'s exact legacy :class:`Profile` object."""
+    lookup = strings.lookup
+    birthday = None
+    if cols.has_birthday[row]:
+        birthday = Birthday(
+            year=int(cols.birthday_year[row]),
+            fraction=float(cols.birthday_fraction[row]),
+        )
+    contact = None
+    if cols.has_contact[row]:
+        contact = ContactInfo(
+            email=lookup(int(cols.contact_email_id[row])),
+            phone=lookup(int(cols.contact_phone_id[row])),
+            im_screen_name=lookup(int(cols.contact_im_id[row])),
+            street_address=lookup(int(cols.contact_street_id[row])),
+        )
+    nw_lo, nw_hi = int(cols.networks_indptr[row]), int(cols.networks_indptr[row + 1])
+    hs_lo, hs_hi = int(cols.hs_indptr[row]), int(cols.hs_indptr[row + 1])
+    wp_lo, wp_hi = int(cols.wall_indptr[row]), int(cols.wall_indptr[row + 1])
+    return Profile(
+        name=Name(
+            first=lookup(int(cols.first_name_id[row])) or "",
+            last=lookup(int(cols.last_name_id[row])) or "",
+        ),
+        gender=GENDER_ORDER[int(cols.gender[row])],
+        networks=tuple(
+            lookup(int(cols.network_id[i])) or "" for i in range(nw_lo, nw_hi)
+        ),
+        has_profile_photo=bool(cols.has_profile_photo[row]),
+        high_schools=tuple(
+            SchoolAffiliation(
+                school_id=int(cols.hs_school_id[i]),
+                school_name=lookup(int(cols.hs_name_id[i])) or "",
+                graduation_year=(
+                    int(cols.hs_grad_year[i])
+                    if int(cols.hs_grad_year[i]) >= 0
+                    else None
+                ),
+            )
+            for i in range(hs_lo, hs_hi)
+        ),
+        relationship_status=lookup(int(cols.relationship_id[row])),
+        interested_in=lookup(int(cols.interested_in_id[row])),
+        birthday=birthday,
+        hometown=lookup(int(cols.hometown_id[row])),
+        current_city=lookup(int(cols.current_city_id[row])),
+        employer=lookup(int(cols.employer_id[row])),
+        graduate_school=lookup(int(cols.graduate_school_id[row])),
+        photo_count=int(cols.photo_count[row]),
+        wall_posts=[
+            WallPost(
+                author_id=int(cols.wall_author[i]),
+                text=lookup(int(cols.wall_text_id[i])) or "",
+            )
+            for i in range(wp_lo, wp_hi)
+        ],
+        contact_info=contact,
+    )
+
+
 @dataclass
 class ColumnarWorld:
     """A generated world in columnar form.
@@ -193,6 +326,18 @@ class ColumnarWorld:
     identity_mapping: bool = False
     #: phase timings and counters filled in by the generator/bench layer.
     stats: Dict[str, float] = field(default_factory=dict)
+    #: exact per-account profile columns (encoder-built worlds only;
+    #: ``None`` on native tiers, which synthesise profiles at serve time).
+    profiles: Optional[ProfileColumns] = None
+    #: vocabulary for every string referenced by ``profiles``.
+    profile_strings: StringTable = field(default_factory=StringTable)
+    #: the *complete* school directory as served — (school_id, name,
+    #: city, enrollment_hint) — including noise schools that
+    #: ``schools`` (config schools only, aligned with
+    #: ``people.school_index``) does not carry.
+    directory: List[Tuple[int, str, str, Optional[int]]] = field(
+        default_factory=list
+    )
 
     # ------------------------------------------------------------------
     # Sizes

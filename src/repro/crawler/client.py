@@ -40,7 +40,7 @@ from .effort import (
     EffortCounter,
     EffortReport,
 )
-from .politeness import Pacer, PolitenessPolicy
+from .politeness import Pacer, PolitenessPolicy, pacer_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.runtime import Telemetry
@@ -58,10 +58,12 @@ class CrawlClient:
         politeness: Optional[PolitenessPolicy] = None,
         counter: Optional[EffortCounter] = None,
         telemetry: Optional["Telemetry"] = None,
+        seed: int = 0,
     ) -> None:
         self.frontend = frontend
         self.pool = pool
         self.telemetry = telemetry
+        self.seed = seed
         self._politeness = politeness
         self._pacers: Dict[int, Pacer] = {}
         if counter is None:
@@ -74,13 +76,20 @@ class CrawlClient:
         """The per-account pacer, created on first use.
 
         Pacing state (jitter RNG, backoff streak, sleep total) is keyed
-        per account so concurrent sessions never share it; every pacer
-        seeds the same RNG, keeping single-account runs draw-for-draw
-        identical to the old shared-pacer behaviour.
+        per account so concurrent sessions never share it.  Each pacer
+        draws jitter from its own ``pacer_rng(seed, account_id)``
+        stream — multi-account runs stay deterministic regardless of
+        how requests interleave across accounts, and the stream depends
+        only on the crawl seed and the account id, never on pool size.
         """
         pacer = self._pacers.get(account_id)
         if pacer is None:
-            pacer = Pacer(self.frontend.clock, self._politeness, telemetry=self.telemetry)
+            pacer = Pacer(
+                self.frontend.clock,
+                self._politeness,
+                rng=pacer_rng(self.seed, account_id),
+                telemetry=self.telemetry,
+            )
             self._pacers[account_id] = pacer  # repro-lint: shared(CrawlClient) -- first-use registry insert; pacing state lives on the per-account object
         return pacer
 

@@ -8,6 +8,7 @@ sleep before each request and how to back off when the site throttles.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
@@ -16,6 +17,27 @@ from repro.osn.clock import SimClock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.telemetry.runtime import Telemetry
+
+#: Legacy shared-jitter seed; still the default for a bare ``Pacer()``
+#: so single-pacer tests stay draw-for-draw identical.
+DEFAULT_PACER_SEED = 0xC0FFEE
+
+
+def pacer_rng(seed: int, account_id: int) -> random.Random:
+    """A per-account jitter RNG stream, derived deterministically.
+
+    ``SeedSequence([seed, account_id])`` semantics without the numpy
+    dependency: the pair is hashed through SHA-256 so streams for
+    neighbouring account ids are statistically independent, and the
+    derivation is stable across processes and ``PYTHONHASHSEED``
+    (unlike ``hash()``-based schemes).  Multi-account runs stay
+    deterministic because each account's draws depend only on
+    ``(seed, account_id)``, never on request interleaving.
+    """
+    material = hashlib.sha256(
+        b"repro.pacer:%d:%d" % (seed, account_id)
+    ).digest()
+    return random.Random(int.from_bytes(material[:8], "big"))
 
 
 @dataclass(frozen=True)
@@ -63,7 +85,7 @@ class Pacer:
         self.clock = clock
         self.policy = policy or PolitenessPolicy()
         self.policy.validate()
-        self.rng = rng or random.Random(0xC0FFEE)
+        self.rng = rng or random.Random(DEFAULT_PACER_SEED)
         self._consecutive_throttles = 0
         self.total_slept = 0.0
         self.telemetry = telemetry
@@ -74,12 +96,29 @@ class Pacer:
                 labelnames=("reason",),
             )
 
-    def before_request(self) -> None:
-        """Sleep the polite inter-request delay (simulated time)."""
+    def next_polite_delay(self) -> float:
+        """Draw the next polite inter-request delay without sleeping it.
+
+        Advances the jitter RNG; the async scheduler uses this to
+        compute a wake-up instant instead of advancing the shared clock
+        (which would double-count overlapping sessions' waits).
+        """
         delay = self.policy.base_delay_seconds
         if self.policy.jitter_seconds > 0:
             delay += self.rng.uniform(0.0, self.policy.jitter_seconds)
-        self._sleep(delay, "polite")
+        return delay
+
+    def next_throttle_penalty(self, retry_after: float) -> float:
+        """Advance the backoff streak and return the penalty, unslept."""
+        self._consecutive_throttles += 1
+        penalty = retry_after * (
+            self.policy.backoff_factor ** (self._consecutive_throttles - 1)
+        )
+        return min(penalty, self.policy.max_backoff_seconds)
+
+    def before_request(self) -> None:
+        """Sleep the polite inter-request delay (simulated time)."""
+        self._sleep(self.next_polite_delay(), "polite")
 
     def on_throttle(self, retry_after: float) -> float:
         """Back off after a rate-limit response, escalating geometrically.
@@ -87,20 +126,26 @@ class Pacer:
         Returns the penalty actually slept (simulated seconds), so the
         caller can attribute the backoff cost on its telemetry events.
         """
-        self._consecutive_throttles += 1
-        penalty = retry_after * (
-            self.policy.backoff_factor ** (self._consecutive_throttles - 1)
-        )
-        penalty = min(penalty, self.policy.max_backoff_seconds)
+        penalty = self.next_throttle_penalty(retry_after)
         self._sleep(penalty, "backoff")
         return penalty
 
     def on_success(self) -> None:
         self._consecutive_throttles = 0
 
-    def _sleep(self, seconds: float, reason: str = "polite") -> None:
+    def note_slept(self, seconds: float, reason: str = "polite") -> None:
+        """Account a sleep performed on the pacer's behalf.
+
+        The concurrent scheduler advances the clock itself (overlapped
+        across accounts); this keeps ``total_slept`` and the sleep
+        histogram meaningful per account either way.
+        """
         if seconds > 0:
-            self.clock.sleep(seconds)
             self.total_slept += seconds
             if self.telemetry is not None:
                 self._sleep_metric.labels(reason=reason).observe(seconds)
+
+    def _sleep(self, seconds: float, reason: str = "polite") -> None:
+        if seconds > 0:
+            self.clock.sleep(seconds)
+            self.note_slept(seconds, reason)

@@ -34,7 +34,11 @@ from .taint import SourceKey, TaintDomain, TaintEngine
 SOURCE_ATTRIBUTES: FrozenSet[str] = GROUND_TRUTH_ATTRIBUTES | {"real_birthday"}
 
 #: The simulator's own packages: reading ground truth there is its job.
-SIMULATOR_PREFIXES: Tuple[str, ...] = ("repro.worldgen", "repro.osn")
+#: ``repro.colgen`` is the scale twin of ``repro.worldgen`` — the
+#: encoder re-represents entire worlds and the serve path renders them,
+#: so it sits on the oracle side of the boundary like the rest of the
+#: simulator (and attacker layers may not import it, see ORACLE001).
+SIMULATOR_PREFIXES: Tuple[str, ...] = ("repro.worldgen", "repro.osn", "repro.colgen")
 
 #: Report emitters count as attacker-facing output alongside the
 #: attacker packages proper.

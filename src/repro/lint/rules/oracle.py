@@ -96,6 +96,11 @@ def forbidden_import(target: str) -> "str | None":
             f"imports simulator ground truth '{target}'; attacker code must go "
             "through repro.osn.frontend or the evaluation seam (repro.core.oracle)"
         )
+    if target == "repro.colgen" or target.startswith("repro.colgen."):
+        return (
+            f"imports columnar simulator ground truth '{target}'; attacker code "
+            "sees columnar worlds only through the HTML frontend they serve"
+        )
     if target == "repro.osn" or target.startswith("repro.osn."):
         if target not in ATTACKER_VISIBLE_OSN:
             return (

@@ -50,6 +50,23 @@ class SimClock:
         self._elapsed_seconds += seconds  # repro-lint: shared(SimClock) -- simulated time is one global timeline by definition; the scheduler serialises advances
         self.now_year += seconds / SECONDS_PER_YEAR  # repro-lint: shared(SimClock) -- same global timeline as _elapsed_seconds
 
+    def advance_to(self, seconds: float) -> None:
+        """Advance to an absolute simulated instant (in seconds).
+
+        The concurrent crawl scheduler computes each session's wake-up
+        instant and advances the shared clock to the *earliest* one —
+        summing per-session sleeps (what :meth:`sleep` does) would count
+        overlapping waits twice.  Advancing to an instant already in the
+        past is a hard error: simulated time is monotonic by contract.
+        """
+        delta = seconds - self._elapsed_seconds
+        if delta < 0:
+            raise ValueError(
+                f"cannot advance to {seconds} — already at {self._elapsed_seconds}"
+            )
+        if delta > 0:
+            self.sleep(delta)
+
     def advance_years(self, years: float) -> None:
         """Advance the calendar by ``years`` (used by world generators)."""
         if years < 0:

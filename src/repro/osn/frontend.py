@@ -52,6 +52,7 @@ from .errors import (
 )
 from .network import GraphSearchQuery, SocialNetwork
 from .ratelimit import RateLimitConfig, RateLimiter
+from .rendercache import CacheKey, RenderCache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.telemetry.runtime import Telemetry
@@ -82,10 +83,12 @@ class HtmlFrontend:
         network: SocialNetwork,
         rate_limit: Optional[RateLimitConfig] = None,
         telemetry: Optional["Telemetry"] = None,
+        cache: Optional[RenderCache] = None,
     ) -> None:
         self.network = network
         self.limiter = RateLimiter(network.clock, rate_limit, telemetry=telemetry)
         self.telemetry = telemetry
+        self.cache = cache
         if telemetry is not None:
             self._init_metrics(telemetry)
 
@@ -107,6 +110,16 @@ class HtmlFrontend:
         frontend-level mutable — the serve path itself holds no state.
         """
         return self.limiter.total_served
+
+    def set_cache(self, cache: Optional[RenderCache]) -> None:
+        """Attach (or detach) the page-render cache.
+
+        Opt-in: worlds are built uncached so tests and experiments that
+        mutate accounts in place observe every change; crawl-heavy
+        paths attach a cache and accept the version-counter contract
+        (out-of-band mutators must call ``network.bump_version()``).
+        """
+        self.cache = cache
 
     def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
         """Attach (or detach) observability; also covers the rate limiter."""
@@ -188,7 +201,21 @@ class HtmlFrontend:
         """Authenticate, charge the limiter, route a read (telemetry-free)."""
         self._admit(account_id)
         params = dict(params or {})
+        cache = self.cache
+        if cache is not None:
+            key = self._cache_key(account_id, path, params)
+            if key is not None:
+                page = cache.get(key)
+                if page is None:
+                    page = self._route_read(account_id, path, params)
+                    cache.put(key, page)
+                return page
+        return self._route_read(account_id, path, params)
 
+    def _route_read(
+        self, account_id: int, path: str, params: Dict[str, str]
+    ) -> str:
+        """Dispatch an admitted read to its handler (cache-oblivious)."""
         if path == "/find-friends/browser":
             return self._find_friends(account_id, params)
         if path == "/graphsearch":
@@ -203,6 +230,56 @@ class HtmlFrontend:
         if match:
             return self._school(int(match.group(1)))
         raise NotFoundError(f"no GET route for {path!r}")
+
+    def _cache_key(
+        self, account_id: int, path: str, params: Dict[str, str]
+    ) -> Optional[CacheKey]:
+        """The cache key for a GET, or ``None`` when it must not be cached.
+
+        Every key ends with the network's ``version`` counter, so any
+        page-visible mutation retires all earlier entries at once.
+        Viewer identity collapses to the viewer *visibility class*
+        (:class:`~repro.osn.privacy.Relationship`) on the routes whose
+        render depends on the viewer only through it; school-search
+        pages are per-account (the portal samples a per-account pool),
+        and friend lists under the reverse-lookup countermeasure are
+        never cached because member visibility is decided per
+        (member, viewer) pair, which no class-level key captures.
+        POSTs never reach this function: writes always execute.
+        """
+        network = self.network
+        version = network.version
+        if path == "/find-friends/browser":
+            school_id = self._int_param(params, "school")
+            offset = self._int_param(params, "offset", 0)
+            return ("search", account_id, school_id, offset, version)
+        if path == "/graphsearch":
+            return (
+                "graphsearch",
+                self._int_param(params, "school"),
+                params.get("year_op"),
+                params.get("year"),
+                params.get("city"),
+                params.get("current") == "1",
+                version,
+            )
+        match = _FRIENDS_RE.match(path)
+        if match:
+            if not network.reverse_lookup_enabled:
+                return None
+            target_id = int(match.group(1))
+            rel = network.relationship(account_id, target_id)
+            offset = self._int_param(params, "offset", 0)
+            return ("friends", target_id, rel, offset, version)
+        match = _PROFILE_RE.match(path)
+        if match:
+            target_id = int(match.group(1))
+            rel = network.relationship(account_id, target_id)
+            return ("profile", target_id, rel, version)
+        match = _SCHOOL_RE.match(path)
+        if match:
+            return ("school", int(match.group(1)), version)
+        return None
 
     def _serve_write(
         self,

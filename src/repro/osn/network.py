@@ -75,6 +75,66 @@ class GraphSearchQuery:
     current_students_only: bool = False
 
 
+def render_profile_view(
+    policy: SitePolicy, account: Account, rel: Relationship, now: float
+) -> ProfileView:
+    """Build the policy-filtered view of ``account`` for one viewer class.
+
+    Pure function of (policy, account, relationship, instant) — shared
+    by the object-world :class:`SocialNetwork` and the columnar serve
+    path (:mod:`repro.colgen.serve`), which is what makes the two
+    backends byte-identical: both render through this exact field
+    logic, then through the same HTML templates.
+    """
+
+    def sees(field_: ProfileField) -> bool:
+        return policy.field_visible_to(account, field_, rel, now)
+
+    profile = account.profile
+    contact = profile.contact_info
+    contact_visible = sees(ProfileField.CONTACT_INFO) and contact is not None
+    return ProfileView(
+        user_id=account.user_id,
+        name=profile.name.full,
+        gender=profile.gender if sees(ProfileField.GENDER) else None,
+        networks=profile.networks if sees(ProfileField.NETWORKS) else (),
+        has_profile_photo=profile.has_profile_photo and sees(ProfileField.PROFILE_PHOTO),
+        high_schools=profile.high_schools if sees(ProfileField.HIGH_SCHOOL) else (),
+        relationship_status=(
+            profile.relationship_status if sees(ProfileField.RELATIONSHIP) else None
+        ),
+        interested_in=profile.interested_in if sees(ProfileField.INTERESTED_IN) else None,
+        birthday_year=(
+            account.registered_birthday.year
+            if sees(ProfileField.BIRTHDAY) and profile.birthday is not None
+            else None
+        ),
+        hometown=profile.hometown if sees(ProfileField.HOMETOWN) else None,
+        current_city=profile.current_city if sees(ProfileField.CURRENT_CITY) else None,
+        employer=profile.employer if sees(ProfileField.EMPLOYER) else None,
+        graduate_school=(
+            profile.graduate_school if sees(ProfileField.GRADUATE_SCHOOL) else None
+        ),
+        photo_count=profile.photo_count if sees(ProfileField.PHOTOS) else None,
+        wall_post_count=len(profile.wall_posts) if sees(ProfileField.WALL) else None,
+        wall_posts=(
+            tuple(
+                WallPostView(post.author_id, post.text)
+                for post in profile.wall_posts
+            )
+            if sees(ProfileField.WALL)
+            else ()
+        ),
+        contact_email=contact.email if contact_visible else None,
+        contact_phone=contact.phone if contact_visible else None,
+        friend_list_visible=policy.field_visible_to(
+            account, ProfileField.FRIEND_LIST, rel, now
+        ),
+        message_button=policy.message_button_visible(account, rel, now),
+        public_search_listed=policy.public_search_eligible(account, now),
+    )
+
+
 class SocialNetwork:
     """A complete in-memory OSN with Facebook-like semantics."""
 
@@ -105,6 +165,26 @@ class SocialNetwork:
         self._next_user_id = 1
         self._next_school_id = 1
         self._school_members: Dict[int, List[int]] = {}
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # World version (render-cache invalidation contract)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every page-visible world mutation.
+
+        The frontend's render cache keys every entry on this value, so a
+        bump invalidates all cached pages at once.  Mutating verbs bump
+        it automatically; code that mutates accounts *directly* (tests,
+        countermeasure sweeps flipping privacy settings in place) must
+        call :meth:`bump_version` itself — that is the whole contract.
+        """
+        return self._version
+
+    def bump_version(self) -> None:
+        """Invalidate cached page renders after an out-of-band mutation."""
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Directory management
@@ -115,6 +195,7 @@ class SocialNetwork:
         school = School(self._next_school_id, name, city, enrollment_hint)
         self._next_school_id += 1
         self.schools[school.school_id] = school
+        self.bump_version()
         return school
 
     def get_school(self, school_id: int) -> School:
@@ -173,6 +254,7 @@ class SocialNetwork:
         self.users[account.user_id] = account
         self.graph.add_node(account.user_id)
         self._index_member(account)
+        self.bump_version()
         return account
 
     def _index_member(self, account: Account) -> None:
@@ -205,6 +287,7 @@ class SocialNetwork:
         if self.graph.add_edge(a, b):
             acct_a.friend_ids.add(b)
             acct_b.friend_ids.add(a)
+            self.bump_version()
             return True
         return False
 
@@ -249,53 +332,7 @@ class SocialNetwork:
         if account.disabled:
             raise NotFoundError(f"account {target_id} is deactivated")
         rel = self.relationship(viewer_id, target_id)
-        now = self.clock.now_year
-        policy = self.policy
-
-        def sees(field_: ProfileField) -> bool:
-            return policy.field_visible_to(account, field_, rel, now)
-
-        profile = account.profile
-        contact = profile.contact_info
-        contact_visible = sees(ProfileField.CONTACT_INFO) and contact is not None
-        return ProfileView(
-            user_id=target_id,
-            name=profile.name.full,
-            gender=profile.gender if sees(ProfileField.GENDER) else None,
-            networks=profile.networks if sees(ProfileField.NETWORKS) else (),
-            has_profile_photo=profile.has_profile_photo and sees(ProfileField.PROFILE_PHOTO),
-            high_schools=profile.high_schools if sees(ProfileField.HIGH_SCHOOL) else (),
-            relationship_status=(
-                profile.relationship_status if sees(ProfileField.RELATIONSHIP) else None
-            ),
-            interested_in=profile.interested_in if sees(ProfileField.INTERESTED_IN) else None,
-            birthday_year=(
-                account.registered_birthday.year
-                if sees(ProfileField.BIRTHDAY) and profile.birthday is not None
-                else None
-            ),
-            hometown=profile.hometown if sees(ProfileField.HOMETOWN) else None,
-            current_city=profile.current_city if sees(ProfileField.CURRENT_CITY) else None,
-            employer=profile.employer if sees(ProfileField.EMPLOYER) else None,
-            graduate_school=(
-                profile.graduate_school if sees(ProfileField.GRADUATE_SCHOOL) else None
-            ),
-            photo_count=profile.photo_count if sees(ProfileField.PHOTOS) else None,
-            wall_post_count=len(profile.wall_posts) if sees(ProfileField.WALL) else None,
-            wall_posts=(
-                tuple(
-                    WallPostView(post.author_id, post.text)
-                    for post in profile.wall_posts
-                )
-                if sees(ProfileField.WALL)
-                else ()
-            ),
-            contact_email=contact.email if contact_visible else None,
-            contact_phone=contact.phone if contact_visible else None,
-            friend_list_visible=self._friend_list_visible(account, rel),
-            message_button=policy.message_button_visible(account, rel, now),
-            public_search_listed=policy.public_search_eligible(account, now),
-        )
+        return render_profile_view(self.policy, account, rel, self.clock.now_year)
 
     def _friend_list_visible(self, account: Account, rel: Relationship) -> bool:
         return self.policy.field_visible_to(

@@ -1,0 +1,84 @@
+"""An LRU cache for rendered HTML pages.
+
+The paper's crawl hammers a small set of hot pages — school search
+pages scrolled by every account and high-degree profiles re-entered
+through many friend lists.  Since a rendered page is a pure function of
+``(route, target, viewer visibility class, world version)``, the
+frontend can memoise the HTML bytes and serve repeats without touching
+the policy engine or the templates.
+
+Keys carry the owning network's ``version`` counter, which every
+mutating verb bumps: after any page-visible world mutation, all live
+keys change and stale entries simply age out of the LRU.  Correctness
+therefore never depends on enumerating what a mutation invalidated.
+
+The cache itself is deliberately dumb: it stores strings under opaque
+tuple keys.  What is cacheable (and what the key must include) is the
+frontend's knowledge — see ``HtmlFrontend._cache_key``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+#: A cache key: route marker plus route-specific discriminators, always
+#: ending with the world version.
+CacheKey = Tuple[object, ...]
+
+#: Default entry capacity — roughly one school crawl's working set
+#: (seed pages + every seed profile at stranger level) with headroom.
+DEFAULT_CAPACITY = 4096
+
+
+class RenderCache:
+    """A bounded LRU of rendered pages, shared by all crawl sessions."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, str]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[str]:
+        """The cached page for ``key``, refreshing its recency; or None."""
+        page = self._entries.get(key)
+        if page is None:
+            self.misses += 1  # repro-lint: shared(RenderCache) -- monotone counter; sessions may undercount under races, never corrupt
+            return None
+        self._entries.move_to_end(key)  # repro-lint: shared(RenderCache) -- LRU recency touch; any interleaving yields a valid LRU order
+        self.hits += 1  # repro-lint: shared(RenderCache) -- monotone counter; sessions may undercount under races, never corrupt
+        return page
+
+    def put(self, key: CacheKey, page: str) -> None:
+        """Insert a rendered page, evicting the least-recent past capacity."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)  # repro-lint: shared(RenderCache) -- LRU recency touch; any interleaving yields a valid LRU order
+        entries[key] = page  # repro-lint: shared(RenderCache) -- idempotent insert: concurrent writers store byte-identical renders of the same key
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)  # repro-lint: shared(RenderCache) -- eviction only ever shrinks toward capacity; worst case a page re-renders
+            self.evictions += 1  # repro-lint: shared(RenderCache) -- monotone counter; sessions may undercount under races, never corrupt
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Counters for bench records and the crawl CLI summary."""
+        return {
+            "entries": float(len(self._entries)),
+            "capacity": float(self.capacity),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "hit_rate": self.hit_rate,
+        }

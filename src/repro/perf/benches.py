@@ -43,6 +43,17 @@ THROUGHPUT_TOLERANCE_PCT = 15.0
 #: Noise band for peak-RSS (allocator and interpreter jitter).
 RSS_TOLERANCE_PCT = 20.0
 
+#: Account-pool sizes the scheduler section of the crawl bench sweeps.
+SCHEDULER_POOL_SIZES = (1, 4, 8)
+#: Acceptance floor: an 8-account pool must finish the same crawl in at
+#: most 1/3 the simulated time of a single account.  Encoded as an
+#: inverse ratio so it gates as an absolute ``max_value`` budget.
+MIN_POOL8_SPEEDUP = 3.0
+#: Profile budget (``CrawlPlan.max_profiles``) for the scheduler sweep —
+#: enough pages for a stable pages/sim-second figure, small enough that
+#: the sweep's four extra worlds stay cheap on paper-tier presets.
+SCHEDULER_BUDGET = 150
+
 
 def _build(preset_name: str, seed: Optional[int]) -> World:
     return build_world(preset(preset_name, seed))
@@ -70,16 +81,161 @@ def _maybe_profiled(
     return fn(), None
 
 
+def _scheduler_metrics(
+    preset_name: str, seed: Optional[int]
+) -> Dict[str, Dict[str, Any]]:
+    """The crawl-engine section of the crawl record.
+
+    Sweeps :data:`SCHEDULER_POOL_SIZES` on fresh worlds (object serving),
+    asserting result-set identity across pool sizes; replays the largest
+    pool against a shared :class:`RenderCache` for the hit-rate figure;
+    and reruns it off an encoded :class:`ColumnarWorld` to hold the
+    columnar serve path to the same result set.  Everything runs on the
+    SimClock, so every number here is seeded-deterministic (``exact``)
+    and the speedup floor gates as an absolute ``max_value`` budget.
+    """
+    from repro.colgen.serve import frontend_for_object_world, session_accounts
+    from repro.crawler.accounts import AccountPool
+    from repro.crawler.client import CrawlClient
+    from repro.crawler.engine import CrawlPlan, CrawlScheduler
+    from repro.osn.rendercache import RenderCache
+
+    def scheduler_world(pool_size: int, cache: Optional[RenderCache] = None):
+        world = _build(preset_name, seed)
+        if cache is not None:
+            world.frontend.set_cache(cache)
+        uids = world.create_attacker_accounts(pool_size)
+        plan = CrawlPlan(
+            school_id=world.school().school_id, max_profiles=SCHEDULER_BUDGET
+        )
+
+        def one_pass():
+            client = CrawlClient(
+                world.frontend, AccountPool.of(uids), seed=world.config.seed
+            )
+            return CrawlScheduler(client, plan).run()
+
+        return one_pass
+
+    def effort_categories(result):
+        # Table 3 categories; accounts_used legitimately varies by pool.
+        report = result.effort
+        return (
+            report.seed_requests,
+            report.profile_requests,
+            report.friend_list_requests,
+            report.other_requests,
+        )
+
+    results = {
+        pool_size: scheduler_world(pool_size)()
+        for pool_size in SCHEDULER_POOL_SIZES
+    }
+    solo = results[SCHEDULER_POOL_SIZES[0]]
+    biggest = results[SCHEDULER_POOL_SIZES[-1]]
+    pool_mismatches = sum(
+        1
+        for pool_size in SCHEDULER_POOL_SIZES[1:]
+        if results[pool_size].result_signature() != solo.result_signature()
+        or effort_categories(results[pool_size]) != effort_categories(solo)
+    )
+
+    # Hot-page replay: pass one fills the shared cache, pass two crawls
+    # the identical page set again and must be served from it.
+    cache = RenderCache()
+    cached_pass = scheduler_world(SCHEDULER_POOL_SIZES[-1], cache=cache)
+    warm = cached_pass()
+    replay = cached_pass()
+    cached_mismatches = int(
+        replay.result_signature() != warm.result_signature()
+    )
+
+    # Columnar serving of the same world: encode, crawl, compare.
+    world = _build(preset_name, seed)
+    frontend = frontend_for_object_world(world)
+    uids = session_accounts(frontend, SCHEDULER_POOL_SIZES[-1])
+    client = CrawlClient(frontend, AccountPool.of(uids), seed=world.config.seed)
+    plan = CrawlPlan(
+        school_id=world.school().school_id, max_profiles=SCHEDULER_BUDGET
+    )
+    columnar = CrawlScheduler(client, plan).run()
+    columnar_mismatches = int(
+        columnar.result_signature() != biggest.result_signature()
+        or effort_categories(columnar) != effort_categories(biggest)
+    )
+
+    metrics = {
+        f"scheduler_pool{pool_size}_pages_per_sim_second": metric(
+            results[pool_size].pages_per_sim_second, "pages/sec", "exact"
+        )
+        for pool_size in SCHEDULER_POOL_SIZES
+    }
+    metrics.update(
+        {
+            "scheduler_pages": metric(solo.pages, "count", "exact"),
+            "scheduler_pool8_speedup": metric(
+                solo.sim_seconds / biggest.sim_seconds, "ratio", "info"
+            ),
+            # Gate: at most 1/MIN_POOL8_SPEEDUP of the solo sim time.
+            "scheduler_pool8_inverse_speedup": metric(
+                biggest.sim_seconds / solo.sim_seconds,
+                "ratio",
+                "exact",
+                max_value=1.0 / MIN_POOL8_SPEEDUP,
+            ),
+            "scheduler_result_mismatches": metric(
+                pool_mismatches, "count", "exact", max_value=0
+            ),
+            "scheduler_cache_hit_rate": metric(
+                cache.hit_rate * 100.0, "percent", "exact"
+            ),
+            "scheduler_cached_result_mismatches": metric(
+                cached_mismatches, "count", "exact", max_value=0
+            ),
+            "scheduler_columnar_pages_per_sim_second": metric(
+                columnar.pages_per_sim_second, "pages/sec", "exact"
+            ),
+            "scheduler_columnar_result_mismatches": metric(
+                columnar_mismatches, "count", "exact", max_value=0
+            ),
+        }
+    )
+    return metrics
+
+
 def bench_crawl(
     preset_name: str = "hs1",
     seed: Optional[int] = None,
     accounts: int = 2,
     profile_top: int = 0,
+    serve: str = "object",
 ) -> Dict[str, Any]:
-    """Full stranger-level crawl of one school: seeds, profiles, lists."""
+    """Full stranger-level crawl of one school: seeds, profiles, lists.
+
+    ``serve`` picks what the baseline crawl runs against: ``object`` is
+    the legacy per-account world, ``columnar`` encodes the same world
+    and serves it off the columns (byte-identical pages, so every
+    ``exact`` metric except wall-clock throughput must agree).  The
+    scheduler section (``scheduler_*`` metrics) always measures both.
+    """
+    if serve not in ("object", "columnar"):
+        raise ValueError(f"serve must be 'object' or 'columnar', got {serve!r}")
     world = _build(preset_name, seed)
-    telemetry = Telemetry(world.clock)
-    client = make_client(world, accounts, telemetry=telemetry)
+    if serve == "columnar":
+        from repro.colgen.serve import frontend_for_object_world, session_accounts
+        from repro.crawler.accounts import AccountPool
+        from repro.crawler.client import CrawlClient
+
+        frontend = frontend_for_object_world(world)
+        telemetry = Telemetry(frontend.clock)
+        frontend.set_telemetry(telemetry)
+        pool = AccountPool.of(session_accounts(frontend, accounts))
+        client = CrawlClient(frontend, pool, telemetry=telemetry)
+        clock = frontend.clock
+    else:
+        telemetry = Telemetry(world.clock)
+        client = make_client(world, accounts, telemetry=telemetry)
+        clock = world.clock
     school_id = world.school().school_id
 
     def crawl() -> Dict[int, str]:
@@ -93,11 +249,11 @@ def bench_crawl(
                 client.fetch_friend_list(uid)
         return seeds
 
-    sim_start = world.clock.seconds()
+    sim_start = clock.seconds()
     wall_start = time.perf_counter()
     seeds, profile = _maybe_profiled(crawl, profile_top)
     wall = time.perf_counter() - wall_start
-    sim = world.clock.seconds() - sim_start
+    sim = clock.seconds() - sim_start
     telemetry.close()
 
     requests = client.effort_report().total
@@ -108,6 +264,7 @@ def bench_crawl(
         ),
         "seeds": metric(len(seeds), "count", "exact"),
         **_common_metrics(wall, sim, requests),
+        **_scheduler_metrics(preset_name, seed),
     }
     return new_record(
         "crawl",
@@ -115,6 +272,8 @@ def bench_crawl(
             "preset": preset_name,
             "seed": world.config.seed,
             "accounts": accounts,
+            "serve": serve,
+            "scheduler_budget": SCHEDULER_BUDGET,
         },
         metrics=metrics,
         phases=phases_json(aggregate_phases(telemetry.tracer.finished)),

@@ -54,6 +54,12 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     run.add_argument("--seed", type=int, default=None, help="world seed override")
     run.add_argument("--accounts", type=int, default=2, help="fake crawl accounts")
     run.add_argument(
+        "--serve",
+        choices=("object", "columnar"),
+        default="object",
+        help="serving path for the crawl bench baseline (default object)",
+    )
+    run.add_argument(
         "--tier", default="smoke", help="worldgen tier (worldgen bench only)"
     )
     run.add_argument(
@@ -147,6 +153,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                 preset_name=args.preset, seed=args.seed,
                 accounts=args.accounts, profile_top=args.profile_top,
             )
+            if name == "crawl":
+                kwargs["serve"] = args.serve
         record = runner(**kwargs)
         path = os.path.join(args.out, f"BENCH_{name}.json")
         write_record(record, path)

@@ -1,0 +1,180 @@
+"""The hot-page render cache: LRU mechanics and frontend correctness.
+
+The contract under test (see ``HtmlFrontend._cache_key``): cached pages
+are byte-identical to uncached renders; keys end with the network's
+``version`` so any page-visible mutation retires every entry at once;
+viewer identity collapses to the visibility *class* where the render
+depends only on it; friend lists under the reverse-lookup
+countermeasure and all POSTs bypass the cache entirely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.osn.frontend import HtmlFrontend
+from repro.osn.privacy import PrivacySettings
+from repro.osn.profile import Birthday, Name, Profile
+from repro.osn.rendercache import RenderCache
+
+
+@pytest.fixture()
+def cached_frontend(school_network):
+    net, school, accounts = school_network
+    cache = RenderCache()
+    return HtmlFrontend(net, cache=cache), cache, school, accounts
+
+
+class TestLru:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RenderCache(0)
+        with pytest.raises(ValueError):
+            RenderCache(-3)
+
+    def test_miss_then_hit(self):
+        cache = RenderCache(capacity=4)
+        assert cache.get(("profile", 1, "x", 0)) is None
+        cache.put(("profile", 1, "x", 0), "<html/>")
+        assert cache.get(("profile", 1, "x", 0)) == "<html/>"
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_drops_least_recent(self):
+        cache = RenderCache(capacity=2)
+        cache.put(("a",), "A")
+        cache.put(("b",), "B")
+        cache.get(("a",))  # refresh A; B is now least recent
+        cache.put(("c",), "C")
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == "A"
+        assert cache.get(("c",)) == "C"
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_stats_shape(self):
+        cache = RenderCache(capacity=8)
+        cache.put(("k",), "V")
+        cache.get(("k",))
+        stats = cache.stats()
+        assert stats["entries"] == 1.0
+        assert stats["capacity"] == 8.0
+        assert stats["hits"] == 1.0
+        assert stats["hit_rate"] == 1.0
+
+
+class TestFrontendCaching:
+    def test_repeat_get_is_served_from_cache(self, cached_frontend):
+        fe, cache, _, accounts = cached_frontend
+        viewer = accounts["crawler"].user_id
+        target = accounts["alumnus"].user_id
+        first = fe.get(viewer, f"/profile/{target}")
+        second = fe.get(viewer, f"/profile/{target}")
+        assert first == second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_cached_pages_byte_identical_across_viewer_classes(
+        self, school_network
+    ):
+        net, school, accounts = school_network
+        target = accounts["lying_minor"].user_id
+        # stranger, friend, self: three distinct visibility classes.
+        viewers = [
+            accounts["crawler"].user_id,
+            accounts["minor"].user_id,
+            target,
+        ]
+        uncached = HtmlFrontend(net)
+        plain = {v: uncached.get(v, f"/profile/{target}") for v in viewers}
+
+        cache = RenderCache()
+        cached = HtmlFrontend(net, cache=cache)
+        for viewer in viewers:
+            assert cached.get(viewer, f"/profile/{target}") == plain[viewer]
+            assert cached.get(viewer, f"/profile/{target}") == plain[viewer]
+        # One entry per visibility class, each replayed exactly once.
+        assert len(cache) == 3
+        assert cache.hits == 3 and cache.misses == 3
+        # The classes render differently, so sharing would be a bug.
+        assert len(set(plain.values())) == 3
+
+    def test_same_class_viewers_share_an_entry(self, school_network):
+        net, school, accounts = school_network
+        # A second true stranger (crawler is the first): registration
+        # happens before the first request so the version is stable.
+        stranger_b = net.register_account(
+            profile=Profile(name=Name("Second", "Stranger")),
+            registered_birthday=Birthday(1984),
+            settings=PrivacySettings.everything_private(),
+            is_fake=True,
+        ).user_id
+        cache = RenderCache()
+        fe = HtmlFrontend(net, cache=cache)
+        stranger_a = accounts["crawler"].user_id
+        target = accounts["minor"].user_id
+        page_a = fe.get(stranger_a, f"/profile/{target}")
+        page_b = fe.get(stranger_b, f"/profile/{target}")
+        assert page_a == page_b
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_mutation_invalidates_via_version(self, cached_frontend):
+        fe, cache, school, accounts = cached_frontend
+        viewer = accounts["crawler"].user_id
+        target = accounts["minor"].user_id
+        before = fe.network.version
+        fe.get(viewer, f"/profile/{target}")
+        # A page-visible write bumps the version: the old entry is dead.
+        fe.network.add_friendship(
+            accounts["minor"].user_id, accounts["alumnus"].user_id
+        )
+        assert fe.network.version > before
+        fe.get(viewer, f"/profile/{target}")
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_explicit_bump_version_invalidates(self, cached_frontend):
+        fe, cache, school, accounts = cached_frontend
+        viewer = accounts["crawler"].user_id
+        fe.get(viewer, f"/school/{school.school_id}")
+        fe.network.bump_version()
+        fe.get(viewer, f"/school/{school.school_id}")
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_friends_route_bypassed_under_countermeasure(
+        self, cached_frontend
+    ):
+        fe, cache, school, accounts = cached_frontend
+        fe.network.reverse_lookup_enabled = False
+        viewer = accounts["minor"].user_id
+        target = accounts["lying_minor"].user_id
+        first = fe.get(viewer, f"/profile/{target}/friends")
+        second = fe.get(viewer, f"/profile/{target}/friends")
+        assert first == second
+        # Never consulted, never filled: visibility there is decided
+        # per (member, viewer) pair, which no class-level key captures.
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_posts_never_cached_and_never_bump_version(self, cached_frontend):
+        fe, cache, school, accounts = cached_frontend
+        sender = accounts["minor"].user_id
+        recipient = accounts["lying_minor"].user_id
+        before = fe.network.version
+        fe.post(sender, "/messages/send", {"to": str(recipient), "text": "hi"})
+        fe.post(sender, "/friend-request", {"to": str(recipient)})
+        # Messages and friend requests are not page-visible: no bump,
+        # and nothing entered the cache.
+        assert fe.network.version == before
+        assert len(cache) == 0
+
+    def test_search_pages_cached_per_account(self, cached_frontend):
+        fe, cache, school, accounts = cached_frontend
+        a = accounts["crawler"].user_id
+        b = accounts["alumnus"].user_id
+        params = {"school": str(school.school_id)}
+        fe.get(a, "/find-friends/browser", params)
+        fe.get(b, "/find-friends/browser", params)
+        # The portal samples a per-account pool, so the key includes the
+        # account: two accounts, two entries, no false sharing.
+        assert cache.misses == 2 and cache.hits == 0
+        fe.get(a, "/find-friends/browser", params)
+        assert cache.hits == 1

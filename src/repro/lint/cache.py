@@ -10,8 +10,13 @@ rebuilt from cached summaries.
 Invalidation is by construction, not by mtime: an entry is used only
 when the file's SHA-256 matches, and the whole cache is discarded when
 the *rule signature* changes — the engine version, the summary-format
-version, or the set of selected rule ids (different rules produce
-different findings).  Delete the file to force a cold run.
+version, the set of selected rule ids (different rules produce
+different findings), or the source of any module defining a registered
+rule.  The source digest is what makes *adding* a rule module
+invalidate the cache: a new module changes no version number and no
+selected id set (ids are hashed from the registry, which the new
+module joins at import time), but its bytes land in the digest.
+Delete the file to force a cold run.
 """
 
 from __future__ import annotations
@@ -37,12 +42,49 @@ def content_hash(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
+def rules_source_digest() -> str:
+    """SHA-256 over the source of every module defining a registered rule.
+
+    Computed fresh on each call (the registry can grow mid-process when
+    tests register fixture rules), over the sorted, deduplicated set of
+    defining modules plus the id -> module mapping — so adding, editing
+    or moving a rule module all change the digest even though the
+    engine/summary versions stay put.
+    """
+    import sys
+
+    from .rules.base import _REGISTRY
+
+    digest = hashlib.sha256()
+    seen: Dict[str, str] = {}
+    for rule_id in sorted(_REGISTRY):
+        module_name = _REGISTRY[rule_id].__module__
+        digest.update(f"{rule_id}={module_name}\n".encode("utf-8"))
+        if module_name in seen:
+            continue
+        module = sys.modules.get(module_name)
+        path = getattr(module, "__file__", None)
+        try:
+            with open(path, "rb") as handle:  # type: ignore[arg-type]
+                source = handle.read()
+        except (OSError, TypeError):
+            source = module_name.encode("utf-8")  # builtin/virtual module
+        seen[module_name] = ""
+        digest.update(source)
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
 def rule_signature(rule_ids: Sequence[str]) -> str:
     """Identity of an engine configuration, for cache invalidation."""
     from .engine import ENGINE_VERSION  # local import: engine imports us
 
     ids = ",".join(sorted(set(rule_ids)))
-    return f"engine={ENGINE_VERSION};summary={SUMMARY_VERSION};rules={ids}"
+    sources = rules_source_digest()
+    return (
+        f"engine={ENGINE_VERSION};summary={SUMMARY_VERSION};"
+        f"rules={ids};sources={sources}"
+    )
 
 
 @dataclass

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import os
 import sys
 from typing import List, Optional, Sequence
@@ -17,7 +18,7 @@ from .baseline import Baseline
 from .cache import DEFAULT_CACHE_PATH, LintCache, rule_signature
 from .engine import lint_paths
 from .reporting import render_json, render_text
-from .rules import all_rules, rule_ids
+from .rules import Rule, all_rules, rule_ids
 from .sarif import render_sarif
 
 #: Linted when no paths are given; members that don't exist are skipped.
@@ -129,6 +130,15 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="disable the on-disk cache for this run",
     )
     parser.add_argument(
+        "--scale-report",
+        action="store_true",
+        help=(
+            "emit the columnar-port worklist (attack-pipeline functions "
+            "bound to the object World, with call-path witnesses) instead "
+            "of findings"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -139,6 +149,43 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="print one rule's rationale, fix and suppression form, then exit",
     )
+
+
+def run_scale_report(
+    paths: Sequence[str],
+    rules: List[Rule],
+    cache: Optional[LintCache],
+    args: argparse.Namespace,
+) -> int:
+    """``--scale-report``: print the columnar-port worklist, exit 0.
+
+    The report is an artifact, not a gate — findings still come from
+    the normal lint run; only unreadable files (LINT002) make this
+    mode fail, since an unparsed module would silently vanish from the
+    worklist.
+    """
+    from .scale import build_scale_report, render_text as render_report
+
+    if args.format == "sarif":
+        print("error: --scale-report supports text and json only", file=sys.stderr)
+        return 2
+    report = lint_paths(
+        paths, rules=rules, cache=cache, jobs=args.jobs, keep_index=True
+    )
+    if report.index is None:
+        print("error: no Python modules found to index", file=sys.stderr)
+        return 2
+    worklist = build_scale_report(report.index)
+    if args.format == "json":
+        print(json.dumps(worklist.to_json(), indent=2, sort_keys=True))
+    else:
+        print(render_report(worklist))
+    if report.infrastructure_errors:
+        for finding in report.findings:
+            if finding.rule == "LINT002":
+                print(f"error: {finding.path}: {finding.message}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -172,6 +219,9 @@ def run_lint(args: argparse.Namespace) -> int:
         cache = LintCache(
             args.cache, rule_signature([rule.rule_id for rule in rules])
         )
+
+    if args.scale_report:
+        return run_scale_report(paths, rules, cache, args)
 
     if args.write_baseline:
         if not args.baseline:

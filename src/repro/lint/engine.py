@@ -10,13 +10,18 @@ output deterministically merged in input order.
 
 After the per-file phase, summaries are stitched into a
 :class:`~repro.lint.flow.index.ProjectIndex` and the whole-program
-rules (FLOW001/FLOW002/DEAD001) run over it.  Whole-program findings
-honour the baseline but not inline ``# repro-lint: allow`` directives
-(a cross-file flow has no single owning line; see DESIGN.md §7).
+rules (flow, concurrency, scale) run over it.  Whole-program findings
+honour the baseline; inline ``# repro-lint: allow`` directives apply
+only to rules that opt in via ``honors_inline_suppressions`` (the
+scale rules, which anchor findings at the statement to change — a
+cross-file flow has no single owning line; see DESIGN.md §7).
 
 Files that fail to parse produce a ``LINT002`` finding instead of
-crashing the run; the CLI reports those as infrastructure failures
-(exit 2), distinct from policy findings (exit 1).
+crashing the run, and so does any per-file worker that dies with an
+unexpected exception — the child traceback rides in the finding
+message instead of surfacing as a raw multiprocessing crash.  The CLI
+reports both as infrastructure failures (exit 2), distinct from
+policy findings (exit 1).
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from __future__ import annotations
 import ast
 import multiprocessing
 import os
+import traceback
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -40,7 +46,7 @@ from .suppressions import parse_suppressions
 PARSE_ERROR_RULE = "LINT002"
 
 #: Bumped when engine behaviour changes in cache-visible ways.
-ENGINE_VERSION = 3
+ENGINE_VERSION = 4
 
 
 @dataclass
@@ -55,6 +61,8 @@ class LintReport:
     cache_hits: int = 0
     #: files actually read + parsed this run (0 on a fully warm cache)
     files_reparsed: int = 0
+    #: the stitched project index, retained when ``keep_index=True``
+    index: Optional["ProjectIndex"] = None
 
     @property
     def ok(self) -> bool:
@@ -149,12 +157,37 @@ _TaskResult = Tuple[str, List[Finding], int, Optional[ModuleSummary]]
 
 
 def _run_task(task: _Task) -> _TaskResult:
-    """Execute one per-file unit (top level: must pickle under spawn)."""
+    """Execute one per-file unit (top level: must pickle under spawn).
+
+    A rule that raises must not kill the whole run (under ``--jobs`` it
+    would surface as a raw multiprocessing traceback and lose every
+    sibling file's results): the crash becomes a LINT002 infrastructure
+    finding carrying the child traceback.  Both the serial and the pool
+    path go through here, so merged output stays byte-identical across
+    ``jobs`` values for the files that do not crash.
+    """
     path, module, is_package, source, rule_id_selection = task
-    selected = [r for r in all_rules() if r.rule_id in rule_id_selection]
-    findings, suppressed, summary = _analyze_one(
-        source, module, path, selected, is_package=is_package
-    )
+    try:
+        selected = [r for r in all_rules() if r.rule_id in rule_id_selection]
+        findings, suppressed, summary = _analyze_one(
+            source, module, path, selected, is_package=is_package
+        )
+    except Exception as exc:  # noqa: BLE001 - the point is to contain rule crashes
+        detail = traceback.format_exc().rstrip()
+        return (
+            path,
+            [
+                Finding(
+                    path,
+                    1,
+                    0,
+                    PARSE_ERROR_RULE,
+                    f"lint worker crashed on this file: {exc!r}\n{detail}",
+                )
+            ],
+            0,
+            None,
+        )
     return path, findings, suppressed, summary
 
 
@@ -165,12 +198,15 @@ def lint_paths(
     *,
     cache: Optional[LintCache] = None,
     jobs: int = 1,
+    keep_index: bool = False,
 ) -> LintReport:
     """Lint files/directories and fold in suppressions plus baseline.
 
     ``cache`` memoises per-file results keyed on content hash; ``jobs``
     fans cache misses out over a process pool.  Output is byte-identical
     for any ``jobs`` value: results are merged in input order and sorted.
+    ``keep_index`` retains the stitched :class:`ProjectIndex` on the
+    report (the ``--scale-report`` mode reuses it instead of re-walking).
     """
     active = list(rules) if rules is not None else all_rules()
     per_file, project = split_rules(active)
@@ -249,8 +285,27 @@ def lint_paths(
 
     if project and summaries:
         index = ProjectIndex(summaries)
+        if keep_index:
+            report.index = index
+        allow_map: Dict[str, Dict[int, Tuple[str, ...]]] = {
+            summary.path: summary.allow_lines
+            for summary in summaries
+            if summary.allow_lines
+        }
         for rule in project:
-            collected.extend(rule.check_project(index))
+            produced = list(rule.check_project(index))
+            if rule.honors_inline_suppressions and allow_map:
+                kept: List[Finding] = []
+                for finding in produced:
+                    allowed = allow_map.get(finding.path, {}).get(finding.line, ())
+                    if finding.rule in allowed:
+                        report.suppressed += 1
+                    else:
+                        kept.append(finding)
+                produced = kept
+            collected.extend(produced)
+    elif keep_index and summaries:
+        report.index = ProjectIndex(summaries)
 
     collected.sort()
     if baseline is not None:
@@ -311,6 +366,11 @@ def _analyze_one(
             kept.append(finding)
     kept.sort()
     summary = extract_summary(
-        tree, module, path, is_package=is_package, shared_lines=table.shared_by_line
+        tree,
+        module,
+        path,
+        is_package=is_package,
+        shared_lines=table.shared_by_line,
+        allow_lines=table.by_line,
     )
     return kept, suppressed, summary

@@ -32,7 +32,13 @@ function, no heap model — because the rules built on it only need an
   per-account ownership pattern), ``await`` and held-sync-lock bits,
   per-function ``async``/``global`` facts and dotted param/return
   annotations, class-body attribute names, and the line table of
-  ``# repro-lint: shared(owner)`` annotations.
+  ``# repro-lint: shared(owner)`` annotations;
+* version 3 adds what the scale-safety pass (:mod:`repro.lint.scale`)
+  consumes: loop structure on ops — a ``For``/``While`` header op
+  carries ``loop=True`` and every op records its enclosing-loop
+  ``depth`` — plus the line table of ``# repro-lint: allow(RULE)``
+  directives (``allow_lines``), so whole-program rules that opt into
+  inline suppression can honour directives without re-reading sources.
 """
 
 from __future__ import annotations
@@ -44,6 +50,7 @@ from typing import (
     Any,
     Dict,
     FrozenSet,
+    Iterable,
     List,
     Mapping,
     Optional,
@@ -53,7 +60,7 @@ from typing import (
 )
 
 #: Bump when the summary shape changes; invalidates cached summaries.
-SUMMARY_VERSION = 2
+SUMMARY_VERSION = 3
 
 #: Predicate names that gate profile-field visibility.  A conditional
 #: whose test calls one of these (or reads a boolean derived from one)
@@ -136,6 +143,10 @@ class Op:
     ``alias`` holds the dotted roots an assigned value may alias (call
     results are fresh by design).  ``awaited`` marks ops containing an
     ``await``; ``locks`` lists sync-``with`` lock refs held at the op.
+    ``loop`` marks a ``for``/``while`` *header* op (its ``expr`` is the
+    iterable / the test); ``depth`` counts the loops enclosing the op —
+    a header op's own loop is not counted, so an inner loop header at
+    ``depth >= 1`` sits inside at least one outer loop.
     """
 
     kind: str  # "assign" | "return" | "expr"
@@ -147,6 +158,8 @@ class Op:
     alias: Tuple[str, ...] = ()
     awaited: bool = False
     locks: Tuple[str, ...] = ()
+    loop: bool = False
+    depth: int = 0
 
 
 @dataclass(frozen=True)
@@ -203,6 +216,10 @@ class ModuleSummary:
     class_attrs: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
     #: line -> owner from ``# repro-lint: shared(owner) -- why``
     shared_lines: Dict[int, str] = field(default_factory=dict)
+    #: line -> rule ids waived by ``# repro-lint: allow(RULE) -- why``
+    #: (statement-span expanded); whole-program rules that opt into
+    #: inline suppression filter their findings through this table.
+    allow_lines: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -220,6 +237,9 @@ class ModuleSummary:
             ],
             "class_attrs": {c: list(ns) for c, ns in self.class_attrs.items()},
             "shared_lines": {str(ln): owner for ln, owner in self.shared_lines.items()},
+            "allow_lines": {
+                str(ln): sorted(rules) for ln, rules in self.allow_lines.items()
+            },
         }
 
     @classmethod
@@ -254,6 +274,10 @@ class ModuleSummary:
             shared_lines={
                 int(ln): str(owner)
                 for ln, owner in dict(raw["shared_lines"]).items()
+            },
+            allow_lines={
+                int(ln): tuple(str(r) for r in rules)
+                for ln, rules in dict(raw["allow_lines"]).items()
             },
         )
 
@@ -329,6 +353,8 @@ def _function_to_json(fn: FunctionInfo) -> Dict[str, Any]:
                 list(op.alias),
                 op.awaited,
                 list(op.locks),
+                op.loop,
+                op.depth,
             ]
             for op in fn.ops
         ],
@@ -355,6 +381,8 @@ def _function_from_json(raw: Mapping[str, Any]) -> FunctionInfo:
                 alias=tuple(str(a) for a in op[6]),
                 awaited=bool(op[7]),
                 locks=tuple(str(lk) for lk in op[8]),
+                loop=bool(op[9]),
+                depth=int(op[10]),
             )
             for op in raw["ops"]
         ),
@@ -691,6 +719,7 @@ class _FunctionExtractor:
         self.ops: List[Op] = []
         self.nested_defs: List[ast.stmt] = []
         self._lock_stack: List[str] = []
+        self._loop_depth = 0
 
     def run(self, body: Sequence[ast.stmt]) -> Tuple[Op, ...]:
         for stmt in body:
@@ -758,6 +787,7 @@ class _FunctionExtractor:
                     writes=writes,
                     awaited=_contains_await(stmt.value),
                     locks=tuple(self._lock_stack),
+                    depth=self._loop_depth,
                 )
             )
             return
@@ -784,16 +814,21 @@ class _FunctionExtractor:
                 gated,
                 writes=tuple(_write_targets(stmt.target)),
                 alias=_alias_refs(stmt.iter),
+                loop=True,
             )
+            self._loop_depth += 1
             for sub in stmt.body:
                 self._statement(sub, gated)
+            self._loop_depth -= 1
             for sub in stmt.orelse:
                 self._statement(sub, gated)
             return
         if isinstance(stmt, ast.While):
-            self._add("expr", (), stmt.test, stmt, gated)
+            self._add("expr", (), stmt.test, stmt, gated, loop=True)
+            self._loop_depth += 1
             for sub in stmt.body:
                 self._statement(sub, gated)
+            self._loop_depth -= 1
             for sub in stmt.orelse:
                 self._statement(sub, gated)
             return
@@ -857,6 +892,7 @@ class _FunctionExtractor:
                         stmt.col_offset,
                         writes=tuple(writes),
                         locks=tuple(self._lock_stack),
+                        depth=self._loop_depth,
                     )
                 )
             return
@@ -879,7 +915,14 @@ class _FunctionExtractor:
         for value in yields:
             produced = _build_expr(value, self._gate_vars, gated)
             self.ops.append(
-                Op("return", (), produced, value.lineno, value.col_offset)
+                Op(
+                    "return",
+                    (),
+                    produced,
+                    value.lineno,
+                    value.col_offset,
+                    depth=self._loop_depth,
+                )
             )
         return expr
 
@@ -892,6 +935,7 @@ class _FunctionExtractor:
         gated: bool,
         writes: Tuple[Tuple[str, str], ...] = (),
         alias: Tuple[str, ...] = (),
+        loop: bool = False,
     ) -> None:
         expr = self._expr(node, gated) if node is not None else EMPTY_EXPR
         self.ops.append(
@@ -905,6 +949,8 @@ class _FunctionExtractor:
                 alias=alias,
                 awaited=_contains_await(node),
                 locks=tuple(self._lock_stack),
+                loop=loop,
+                depth=self._loop_depth,
             )
         )
 
@@ -1047,6 +1093,7 @@ def extract_summary(
     path: str,
     is_package: bool = False,
     shared_lines: Optional[Mapping[int, str]] = None,
+    allow_lines: Optional[Mapping[int, Iterable[str]]] = None,
 ) -> ModuleSummary:
     """One-pass extraction of the whole-program-relevant facts."""
     imports, stars = _collect_imports(tree, module, is_package)
@@ -1093,4 +1140,8 @@ def extract_summary(
         dead_candidates=_collect_dead_candidates(tree),
         class_attrs=class_attrs,
         shared_lines=dict(shared_lines or {}),
+        allow_lines={
+            line: tuple(sorted(rules))
+            for line, rules in (allow_lines or {}).items()
+        },
     )

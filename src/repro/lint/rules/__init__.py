@@ -9,6 +9,10 @@ from . import clock, determinism, mutables, oracle  # noqa: F401  (registration)
 from .. import flow  # noqa: E402,F401  (registration)
 from .. import conc  # noqa: E402,F401  (registration)
 
+# scale (SCALE001/SCALE002/SCALE003/DET002) rides both the flow IR and
+# conc's effect summaries, so it registers last.
+from .. import scale  # noqa: E402,F401  (registration)
+
 __all__ = [
     "FileContext",
     "Rule",

@@ -96,9 +96,18 @@ class WholeProgramRule(Rule):
     The engine runs ``check_project`` once over the
     :class:`~repro.lint.flow.index.ProjectIndex` after the per-file
     phase; ``check`` contributes nothing.  Whole-program findings
-    honour the baseline but not inline ``allow()`` suppressions (their
-    sites are in *other* files than the cause).
+    honour the baseline; inline ``allow()`` suppressions apply only to
+    rules that set :attr:`honors_inline_suppressions` — those anchor
+    each finding at the site that must change (so a directive on that
+    line is meaningful), whereas flow/concurrency findings span files
+    and have no single owning line.
     """
+
+    #: When True, the engine filters this rule's project findings
+    #: through each summary's ``allow_lines`` table (the scale rules
+    #: anchor findings at the offending statement, so the directive
+    #: sits where the fix belongs).
+    honors_inline_suppressions: bool = False
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         return iter(())  # whole-program rules contribute nothing per file

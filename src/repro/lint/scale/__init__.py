@@ -1,0 +1,28 @@
+"""repro.lint.scale — scale-safety & RNG-provenance analysis.
+
+Four rules plus one report, all riding the flow IR / ProjectIndex /
+effect-summary infrastructure the flow and concurrency passes built:
+
+* **SCALE001** — per-person object materialisation reachable from a
+  city-tier entry point (serve/crawl/attack);
+* **SCALE002** — population-quadratic nested loops on those paths;
+* **SCALE003** — streaming handlers accumulating without a budget;
+* **DET002** — RNG stream provenance: sharded generators must descend
+  from a per-shard ``SeedSequence`` lineage;
+* ``--scale-report`` — the ranked columnar-port worklist: every
+  function binding the attack pipeline to the object ``World``, with
+  call-path witnesses.
+
+Importing this package registers the rules (mirrors how
+``repro.lint.rules`` pulls in the flow and conc passes).
+"""
+
+from . import provenance, rules  # noqa: F401  (registration side effect)
+from .report import ScaleReport, WorklistItem, build_scale_report, render_text
+
+__all__ = [
+    "ScaleReport",
+    "WorklistItem",
+    "build_scale_report",
+    "render_text",
+]

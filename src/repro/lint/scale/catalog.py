@@ -1,0 +1,151 @@
+"""Typed catalogues of population-scale APIs and scale-relevant tokens.
+
+The scale rules are catalogue-driven on purpose: "population-scale"
+cannot be inferred from an AST (a ``for`` over three attacker accounts
+and a ``for`` over a million-row column look identical), so the pass
+names the APIs that are *known* to scale with the population — the
+object world's people/account containers, the columnar world's row
+counts and CSR arrays, and the view helpers that decode full per-person
+objects.  Everything outside the catalogue is assumed small, which is
+the documented false-negative shape (DESIGN.md §7): a new
+population-sized container is invisible until it is catalogued here.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from ..flow.summary import CallInfo, ExprInfo
+
+#: Attribute names whose read yields a population-scale container
+#: (``world.people``, ``network.accounts``, ``self.users``).  A bare
+#: receiver is required — a local called ``people`` is not evidence.
+POPULATION_ATTRS: FrozenSet[str] = frozenset({"people", "accounts", "users"})
+
+#: Row-count attributes: ``range(world.n_accounts)`` iterates every row.
+POPULATION_SIZE_ATTRS: FrozenSet[str] = frozenset({"n_people", "n_accounts"})
+
+#: CSR adjacency arrays: loops indexing these sweep the edge set.
+GRAPH_ARRAY_ATTRS: FrozenSet[str] = frozenset({"indptr", "indices"})
+
+#: Builtins that materialise their argument in full.  ``list(world.people)``
+#: is the canonical SCALE001 shape: one call, a million objects.
+COLLECTOR_BUILTINS: FrozenSet[str] = frozenset(
+    {"list", "dict", "set", "frozenset", "tuple", "sorted"}
+)
+
+#: Catalogued per-person materialisers: (module, name, is_class).
+#: Calls resolving here decode full object rows from the columns.
+MATERIALIZING_FUNCTIONS: Tuple[Tuple[str, str], ...] = (
+    ("repro.colgen.views", "person_view"),
+)
+MATERIALIZING_CLASSES: Tuple[Tuple[str, str], ...] = (
+    ("repro.colgen.views", "PopulationView"),
+)
+
+#: Container-growth methods for SCALE003's accumulation detection.
+GROWTH_METHODS: FrozenSet[str] = frozenset(
+    {"add", "append", "appendleft", "extend", "insert", "setdefault", "update"}
+)
+
+#: A streaming handler with any of these tokens in scope is considered
+#: budgeted.  Substring match against param names, local names and
+#: attribute reads.
+BUDGET_TOKENS: Tuple[str, ...] = (
+    "budget",
+    "cap",
+    "limit",
+    "max",
+    "quota",
+    "remaining",
+    "truncat",
+)
+
+#: Function-name tokens that mark a per-page / per-fetch streaming
+#: handler (SCALE003's scope).
+STREAM_HANDLER_TOKENS: Tuple[str, ...] = (
+    "drain",
+    "fetch",
+    "harvest",
+    "page",
+    "poll",
+    "stream",
+)
+
+#: Parameter / loop-variable tokens that mark sharded (per-worker)
+#: code for DET002's provenance requirements.
+SHARD_TOKENS: Tuple[str, ...] = ("shard", "stream", "worker", "block")
+
+#: Modules that are *supposed* to sweep the population: world
+#: generation and the object->columns encoding run once, before any
+#: serving, so their O(population) loops are the point, not a bug.
+SETUP_MODULE_PREFIXES: Tuple[str, ...] = (
+    "repro.worldgen",
+    "repro.colgen.generate",
+    "repro.colgen.encode",
+    "repro.colgen.columns",
+    "repro.colgen.csr",
+    "repro.colgen.tiers",
+    "repro.colgen.bench",
+)
+
+
+def in_setup_module(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in SETUP_MODULE_PREFIXES
+    )
+
+
+def mentions_token(text: str, tokens: Tuple[str, ...]) -> bool:
+    lowered = text.lower()
+    return any(token in lowered for token in tokens)
+
+
+def _range_evidence(call: CallInfo) -> Optional[str]:
+    """Population evidence inside a ``range(...)`` call's arguments."""
+    if call.callee != "range":
+        return None
+    for arg in call.args:
+        for read in arg.reads:
+            if read.attr in POPULATION_SIZE_ATTRS and read.recv is not None:
+                return f"range({read.recv}.{read.attr})"
+    return None
+
+
+def population_evidence(expr: ExprInfo) -> Optional[str]:
+    """A human-readable label when ``expr`` yields a population-scale
+    iterable, else None.
+
+    Matches the typed catalogue only: population-container attribute
+    reads (``world.people``), dict-view calls over them
+    (``self.users.values()``), and full-row ranges
+    (``range(world.n_accounts)``).
+    """
+    for call in expr.calls:
+        label = _range_evidence(call)
+        if label is not None:
+            return label
+        if call.callee is not None:
+            parts = call.callee.split(".")
+            if (
+                len(parts) >= 3
+                and parts[-1] in ("values", "items", "keys")
+                and parts[-2] in POPULATION_ATTRS
+            ):
+                return f"{call.callee}()"
+    for read in expr.reads:
+        if read.attr in POPULATION_ATTRS and read.recv is not None:
+            return f"{read.recv}.{read.attr}"
+    return None
+
+
+def graph_evidence(expr: ExprInfo) -> Optional[str]:
+    """Evidence that ``expr`` iterates CSR adjacency (edge-scale)."""
+    for read in expr.reads:
+        if read.attr in GRAPH_ARRAY_ATTRS and read.recv is not None:
+            return f"{read.recv}.{read.attr}"
+    for name in expr.names:
+        if name in GRAPH_ARRAY_ATTRS:
+            return name
+    return None

@@ -1,0 +1,271 @@
+"""DET002 — RNG *stream* provenance in sharded code.
+
+DET001 guarantees every generator is seeded; it cannot see whether two
+shards of a sharded computation were seeded with the *same* material.
+The columnar worldgen runs per-(stream, shard) workers, and its
+determinism contract ("same seed → same million-row city, any worker
+count, any interleaving") holds only because every generator descends
+from ``SeedSequence([seed, stream, shard])`` — distinct spawn keys per
+shard, so streams never collide and never depend on scheduling order.
+
+DET002 makes that lineage mechanical, inside *sharded contexts* only
+(a function whose parameters mention a shard/stream/worker token, or
+the body of a loop over shard-ish variables):
+
+* ``default_rng(x)`` where ``x`` is not a ``SeedSequence(...)`` —
+  no provenance: two shards fed the same ``x`` silently share a
+  stream;
+* ``default_rng(SeedSequence([...]))`` whose entropy list mentions no
+  shard-ish variable — the lineage exists but is constant across
+  shards, i.e. stream reuse;
+* a generator constructed *outside* a shard loop but drawn from
+  *inside* it — one stream shared across workers, so results depend
+  on which worker draws first.
+
+Outside sharded contexts a plain ``default_rng(seed)`` stays legal
+(that is DET001's jurisdiction).  ``getrandbits``-derived child seeds
+(the friendship sampler's ``default_rng(rng.getrandbits(64))``) are
+fine for the same reason: one generator, no shards.
+
+Suppression: ``# repro-lint: allow(DET002) -- <why the streams cannot
+collide>`` on the flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from ..findings import Finding
+from ..rules.base import FileContext, Rule, register
+from ..rules.determinism import dotted_name, module_aliases
+from .catalog import SHARD_TOKENS, mentions_token
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_shard_name(name: str) -> bool:
+    return mentions_token(name, SHARD_TOKENS)
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+def _param_names(node: _FunctionNode) -> List[str]:
+    arguments = node.args
+    params = [a.arg for a in arguments.posonlyargs]
+    params.extend(a.arg for a in arguments.args)
+    params.extend(a.arg for a in arguments.kwonlyargs)
+    return params
+
+
+class _Resolver:
+    """Maps call expressions to ``default_rng`` / ``SeedSequence``."""
+
+    _NAMES = ("default_rng", "SeedSequence")
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._aliases = module_aliases(tree)
+        self._direct: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module != "numpy.random":
+                    continue
+                for alias in node.names:
+                    if alias.name in self._NAMES:
+                        self._direct[alias.asname or alias.name] = alias.name
+
+    def kind(self, func: ast.expr) -> Optional[str]:
+        name = dotted_name(func)
+        if name is None:
+            return None
+        if "." not in name:
+            return self._direct.get(name)
+        head, rest = name.split(".", 1)
+        module = self._aliases.get(head)
+        if module == "numpy" and rest.startswith("random."):
+            rest = rest[len("random."):]
+            module = "numpy.random"
+        if module == "numpy.random" and rest in self._NAMES:
+            return rest
+        return None
+
+
+@register
+class RngProvenanceRule(Rule):
+    """Sharded generators must descend from a per-shard SeedSequence.
+
+    Rationale, approximations and the allowed shapes are documented in
+    the module docstring and DESIGN.md §7; in short, "sharded context"
+    is token-based (shard/stream/worker/block in a parameter or loop
+    variable), lineage is checked syntactically (a ``SeedSequence``
+    call or a local bound to one in the same function), and anything
+    outside sharded contexts is DET001's business, not ours.
+    """
+
+    rule_id = "DET002"
+    summary = (
+        "sharded default_rng must trace to a per-shard "
+        "SeedSequence([seed, stream, shard]) lineage"
+    )
+    category = "determinism"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        resolver = _Resolver(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._scan(
+                    ctx, resolver, node.body, _param_names(node)
+                )
+        yield from self._scan(ctx, resolver, ctx.tree.body, [])
+
+    # -- one function (or the module body) ----------------------------
+
+    def _scan(
+        self,
+        ctx: FileContext,
+        resolver: _Resolver,
+        body: Sequence[ast.stmt],
+        params: Sequence[str],
+    ) -> Iterator[Finding]:
+        fn_sharded = any(_is_shard_name(p) for p in params)
+        seedseq_locals: Dict[str, ast.Call] = {}
+        outside_generators: Dict[str, int] = {}
+        findings: List[Finding] = []
+
+        def visit(node: ast.AST, shard_depth: int) -> None:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return  # nested defs are scanned as their own function
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                visit(node.iter, shard_depth)
+                is_shard_loop = any(
+                    _is_shard_name(name)
+                    for name in _target_names(node.target)
+                )
+                inner = shard_depth + (1 if is_shard_loop else 0)
+                for sub in node.body:
+                    visit(sub, inner)
+                for sub in node.orelse:
+                    visit(sub, shard_depth)
+                return
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                kind = resolver.kind(node.value.func)
+                names = [
+                    name
+                    for target in node.targets
+                    for name in _target_names(target)
+                ]
+                if kind == "SeedSequence":
+                    for name in names:
+                        seedseq_locals[name] = node.value
+                elif kind == "default_rng" and shard_depth == 0:
+                    for name in names:
+                        outside_generators[name] = node.lineno
+            if isinstance(node, ast.Call):
+                if resolver.kind(node.func) == "default_rng":
+                    self._check_rng_call(
+                        ctx,
+                        resolver,
+                        node,
+                        fn_sharded or shard_depth > 0,
+                        seedseq_locals,
+                        findings,
+                    )
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and shard_depth > 0
+                and node.id in outside_generators
+            ):
+                born = outside_generators.pop(node.id)
+                findings.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"generator '{node.id}' (constructed at line "
+                        f"{born}, outside the shard loop) is drawn from "
+                        "inside it: one stream shared across workers makes "
+                        "results depend on draw order; construct a "
+                        "per-shard generator from "
+                        "SeedSequence([seed, stream, shard]) inside the "
+                        "loop",
+                    )
+                )
+            for child in ast.iter_child_nodes(node):
+                visit(child, shard_depth)
+
+        for stmt in body:
+            visit(stmt, 0)
+        yield from findings
+
+    def _check_rng_call(
+        self,
+        ctx: FileContext,
+        resolver: _Resolver,
+        call: ast.Call,
+        sharded: bool,
+        seedseq_locals: Dict[str, ast.Call],
+        findings: List[Finding],
+    ) -> None:
+        if not call.args:
+            return  # unseeded: DET001's finding, not a provenance one
+        seed_arg = call.args[0]
+        sequence: Optional[ast.Call] = None
+        if (
+            isinstance(seed_arg, ast.Call)
+            and resolver.kind(seed_arg.func) == "SeedSequence"
+        ):
+            sequence = seed_arg
+        elif isinstance(seed_arg, ast.Name):
+            sequence = seedseq_locals.get(seed_arg.id)
+        if not sharded:
+            return  # plain seeded default_rng outside sharded code: fine
+        if sequence is None:
+            findings.append(
+                ctx.finding(
+                    call,
+                    self.rule_id,
+                    "default_rng in sharded code without a SeedSequence "
+                    "lineage: two shards fed the same seed silently share "
+                    "a stream; seed from "
+                    "SeedSequence([seed, stream, shard])",
+                )
+            )
+            return
+        if not self._mentions_shard(sequence):
+            findings.append(
+                ctx.finding(
+                    call,
+                    self.rule_id,
+                    "SeedSequence lineage is constant across shards (no "
+                    "shard/stream/worker variable in its entropy): every "
+                    "shard reuses the same stream; include the shard "
+                    "index in the spawn key",
+                )
+            )
+
+    @staticmethod
+    def _mentions_shard(sequence: ast.Call) -> bool:
+        for arg in [*sequence.args, *[kw.value for kw in sequence.keywords]]:
+            for node in ast.walk(arg):
+                if isinstance(node, ast.Name) and _is_shard_name(node.id):
+                    return True
+                if isinstance(node, ast.Attribute) and _is_shard_name(
+                    node.attr
+                ):
+                    return True
+        return False

@@ -1,0 +1,192 @@
+"""The columnar-port worklist: who binds the attack pipeline to `World`.
+
+ROADMAP item: the attack pipeline still runs against the object
+``World`` while worldgen and the crawl path went columnar.  The port
+is a migration, and migrations need a worklist — so this module walks
+the call graph from every attack-pipeline entry point and emits, ranked,
+the functions that bind the pipeline to the object world: each one
+either takes a ``world`` parameter outright or touches ``world`` state
+in its body, and each comes with the call-path witness that proves an
+entry reaches it.
+
+Ranking: functions reached from the most entry points first (porting
+them unblocks the most of the pipeline), world-site count second (how
+much rewriting each needs), name third (stable output for diffing two
+reports across commits).
+
+This is a *report*, not a rule: it has no pass/fail semantics and no
+baseline; ``python -m repro lint --scale-report`` prints it and exits
+zero so CI can archive the artifact while the port is in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from ..conc.effects import analysis_for
+from ..flow.summary import ExprInfo, FunctionInfo, ModuleSummary
+from ..flow.index import ProjectIndex
+from .catalog import in_setup_module
+from .entries import attack_entries, binds_world
+
+
+@dataclass(frozen=True)
+class WorklistItem:
+    """One function the columnar port must rewrite."""
+
+    fqn: str  # "module:qualname"
+    path: str
+    line: int
+    binds: bool  # takes the object world in its own signature
+    world_sites: int  # ops in its body touching `world`
+    reached_from: List[str]  # entry labels that reach it
+    witness: List[str]  # entry-to-function call chain (fqns)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "function": self.fqn,
+            "path": self.path,
+            "line": self.line,
+            "binds_world": self.binds,
+            "world_sites": self.world_sites,
+            "reached_from": list(self.reached_from),
+            "witness": list(self.witness),
+        }
+
+
+@dataclass
+class ScaleReport:
+    """The ranked worklist plus the entry set it was walked from."""
+
+    entries: List[str]  # entry labels, sorted
+    items: List[WorklistItem]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "entries": list(self.entries),
+            "items": [item.to_json() for item in self.items],
+        }
+
+
+def _expr_mentions_world(expr: ExprInfo) -> bool:
+    if "world" in expr.names:
+        return True
+    for read in expr.reads:
+        if read.attr == "world":
+            return True
+        if read.recv is not None and read.recv.split(".", 1)[0] == "world":
+            return True
+    for call in expr.calls:
+        if call.callee is not None and call.callee.split(".", 1)[0] == "world":
+            return True
+        for arg in call.args:
+            if _expr_mentions_world(arg):
+                return True
+        for _name, arg in call.kwargs:
+            if _expr_mentions_world(arg):
+                return True
+    return False
+
+
+def _world_sites(fn: FunctionInfo) -> int:
+    return sum(1 for op in fn.ops if _expr_mentions_world(op.expr))
+
+
+def _holds_foreign_world(summary: ModuleSummary, qualname: str) -> bool:
+    """True when the enclosing class's ``world`` attribute is *not* the
+    object world (``ColumnarNetwork.__init__(world: ColumnarWorld)``):
+    its methods read ``self.world`` constantly but are already ported,
+    so counting those sites would fill the worklist with done work."""
+    if "." not in qualname:
+        return False
+    class_name = qualname.split(".", 1)[0]
+    init = summary.functions.get(f"{class_name}.__init__")
+    if init is None:
+        return False
+    ref = dict(init.annotations).get("world")
+    if ref is None:
+        return False
+    return ref.rsplit(".", 1)[-1] not in ("World", "WorldLike")
+
+
+def build_scale_report(index: ProjectIndex) -> ScaleReport:
+    """Walk the call graph from the attack entries; rank world-binders.
+
+    The entry set self-roots every public ``repro.core`` function whose
+    signature binds a world (see :mod:`.entries`), so the report covers
+    every attack-pipeline world-reader even when no indexed caller
+    reaches it yet.  Setup modules (worldgen, the columnar encoders) are
+    excluded: they *produce* worlds and are not part of the port.
+    """
+    analysis = analysis_for(index)
+    entries = attack_entries(index)
+    reached_by: Dict[str, List[str]] = {}
+    chains: Dict[str, List[str]] = {}
+    for label, entry in entries:
+        parents = analysis.reachable_from([entry])
+        for fqn in parents:
+            reached_by.setdefault(fqn, []).append(label)
+            if fqn not in chains:
+                chains[fqn] = analysis.chain(parents, fqn)
+    items: List[WorklistItem] = []
+    for fqn in sorted(reached_by):
+        module, _, qualname = fqn.partition(":")
+        if not qualname or in_setup_module(module):
+            continue
+        summary = index.modules.get(module)
+        fn = analysis.functions.get(fqn)
+        if summary is None or fn is None:
+            continue
+        binds = binds_world(summary, qualname)
+        sites = _world_sites(fn)
+        if not binds and sites == 0:
+            continue
+        if (
+            not binds
+            and "world" not in fn.params
+            and _holds_foreign_world(summary, qualname)
+        ):
+            continue
+        items.append(
+            WorklistItem(
+                fqn=fqn,
+                path=summary.path,
+                line=fn.line,
+                binds=binds,
+                world_sites=sites,
+                reached_from=sorted(set(reached_by[fqn])),
+                witness=chains[fqn],
+            )
+        )
+    items.sort(key=lambda i: (-len(i.reached_from), -i.world_sites, i.fqn))
+    return ScaleReport(
+        entries=sorted({label for label, _fqn in entries}), items=items
+    )
+
+
+def render_text(report: ScaleReport) -> str:
+    """Human-readable worklist (the ``--format text`` rendering)."""
+    lines = [
+        "columnar-port worklist: functions binding the attack pipeline "
+        "to the object World",
+        f"walked from {len(report.entries)} attack-pipeline entry points; "
+        f"{len(report.items)} functions to port",
+        "",
+    ]
+    for rank, item in enumerate(report.items, start=1):
+        binds = "binds world" if item.binds else "touches world"
+        lines.append(
+            f"{rank:3d}. {item.fqn}  ({binds}, {item.world_sites} world "
+            f"sites, reached from {len(item.reached_from)} entries)"
+        )
+        lines.append(f"     {item.path}:{item.line}")
+        lines.append(
+            "     via " + " -> ".join(
+                fqn.partition(":")[2] or fqn for fqn in item.witness
+            )
+        )
+    if not report.items:
+        lines.append("(nothing binds the pipeline to the object World)")
+    lines.append("")
+    return "\n".join(lines)

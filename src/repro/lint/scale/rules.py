@@ -1,0 +1,424 @@
+"""SCALE001 / SCALE002 / SCALE003 — whole-program scale-safety rules.
+
+The crawl engine serves city-tier (1M-account) worlds off columns; the
+paper's experiments only reach that scale if nothing on a hot path
+materialises per-person objects, sweeps the population inside another
+population sweep, or accumulates unboundedly per fetched page.  These
+rules make "scale-safe" machine-checked *before* the attack pipeline's
+columnar port (ROADMAP item 2 follow-up): every finding is a function
+the port must rewrite, witnessed by the call path that reaches it from
+a serve/crawl/attack entry point.
+
+All three ride the :class:`~repro.lint.conc.effects.EffectAnalysis`
+call graph and the typed catalogue in :mod:`repro.lint.scale.catalog`.
+Setup code is exempt by construction: ``__init__`` methods (the
+sanctioned eager-index seam — build the index once at construction,
+serve reads after) and the worldgen/encode modules (sweeping the
+population once, before serving, is their job).
+
+Unlike the flow/concurrency passes, these rules anchor each finding at
+the offending statement in the offending file, so they opt into inline
+``# repro-lint: allow(SCALE00x) -- why`` suppression
+(``honors_inline_suppressions``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from ..conc.effects import EffectAnalysis, analysis_for
+from ..findings import Finding
+from ..flow.index import ProjectIndex
+from ..flow.summary import FunctionInfo, Op
+from ..rules.base import WholeProgramRule, register
+from .catalog import (
+    COLLECTOR_BUILTINS,
+    BUDGET_TOKENS,
+    GROWTH_METHODS,
+    MATERIALIZING_CLASSES,
+    MATERIALIZING_FUNCTIONS,
+    STREAM_HANDLER_TOKENS,
+    graph_evidence,
+    in_setup_module,
+    mentions_token,
+    population_evidence,
+)
+from .entries import Entry, scale_entries, serve_entries
+
+
+def _render_chain(chain: List[str]) -> str:
+    return " -> ".join(fqn.split(":", 1)[1] or fqn for fqn in chain)
+
+
+def _exempt(fqn: str) -> bool:
+    """Setup seams the scale rules must not flag."""
+    module, _, qualname = fqn.partition(":")
+    if in_setup_module(module):
+        return True
+    return qualname.endswith("__init__")
+
+
+def _reached(
+    analysis: EffectAnalysis, entries: Sequence[Entry]
+) -> Tuple[Dict[str, List[str]], Dict[str, List[str]]]:
+    """fqn -> entry labels reaching it, and fqn -> witness chain."""
+    reached_by: Dict[str, List[str]] = {}
+    chains: Dict[str, List[str]] = {}
+    for label, entry in entries:
+        parents = analysis.reachable_from([entry])
+        for fqn in parents:
+            reached_by.setdefault(fqn, []).append(label)
+            if fqn not in chains:
+                chains[fqn] = analysis.chain(parents, fqn)
+    return reached_by, chains
+
+
+def _loop_stack_walk(fn: FunctionInfo) -> Iterator[Tuple[Op, List[Op]]]:
+    """Yield ``(op, enclosing loop headers)`` in statement order.
+
+    Reconstructed from the flat op list: a header op at depth ``d`` has
+    ``d`` enclosing loops (stack becomes ``d + 1`` deep for its body);
+    a non-header op at depth ``d`` sits under the first ``d`` headers.
+    """
+    stack: List[Op] = []
+    for op in fn.ops:
+        del stack[op.depth :]
+        yield op, list(stack)
+        if op.loop:
+            stack.append(op)
+
+
+@register
+class MaterializationRule(WholeProgramRule):
+    """No per-person object materialisation on city-tier paths.
+
+    Rationale: the columnar world holds a million accounts in flat
+    arrays; one ``list(world.people)``, ``person_view`` decode loop or
+    per-account dict build on a serve/crawl/attack path turns that into
+    a million heap objects and reintroduces exactly the footprint the
+    columns removed.  The catalogue names the decoders
+    (``person_view``, ``PopulationView``) and the population
+    containers; collector builtins over either are flagged, as are
+    container mutations performed inside a population-scale loop.
+
+    Fix: stay columnar — read the needed columns directly (ndarray
+    slices / interned-id comparisons), or hoist the materialisation
+    into a construction-time index (``__init__`` is exempt as the
+    sanctioned setup seam).
+
+    Suppression: ``# repro-lint: allow(SCALE001) -- <why this path
+    never runs at city tier>`` on the flagged statement; pipeline-wide
+    debts belong in ``lint-baseline.json`` with a justification.
+    """
+
+    rule_id = "SCALE001"
+    summary = "per-person object materialisation reachable from a scale entry"
+    category = "scale"
+    honors_inline_suppressions = True
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        analysis = analysis_for(index)
+        entries = scale_entries(index)
+        if not entries:
+            return
+        materializers = _materializer_fqns(index)
+        reached_by, chains = _reached(analysis, entries)
+        seen: Set[Tuple[str, int, int, str]] = set()
+        for fqn in sorted(reached_by):
+            if _exempt(fqn):
+                continue
+            module, _, qualname = fqn.partition(":")
+            summary = index.modules.get(module)
+            fn = analysis.functions.get(fqn)
+            if summary is None or fn is None:
+                continue
+            path = summary.path
+            chain = _render_chain(chains[fqn])
+            for op, loops in _loop_stack_walk(fn):
+                for what, line, col in self._op_sites(
+                    index, module, qualname, op, loops, materializers
+                ):
+                    key = (module, line, col, what)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield Finding(
+                        path=path,
+                        line=line,
+                        col=col,
+                        rule=self.rule_id,
+                        message=(
+                            f"{what} on a city-tier path "
+                            f"(reached via {chain}); stay columnar or hoist "
+                            "into a construction-time index"
+                        ),
+                    )
+
+    def _op_sites(
+        self,
+        index: ProjectIndex,
+        module: str,
+        qualname: str,
+        op: Op,
+        loops: List[Op],
+        materializers: Set[str],
+    ) -> Iterator[Tuple[str, int, int]]:
+        for call in op.expr.calls:
+            if call.callee is None:
+                continue
+            # (a) catalogued per-person decoders, wherever they resolve from
+            resolution = index.resolve_call(module, qualname, call.callee)
+            for resolved in resolution.functions:
+                if resolved.fqn in materializers:
+                    yield (
+                        f"per-person decode '{call.callee}'",
+                        call.line,
+                        call.col,
+                    )
+            if resolution.constructed_class is not None:
+                key = ":".join(resolution.constructed_class)
+                if key in materializers:
+                    yield (
+                        f"object-view construction '{call.callee}'",
+                        call.line,
+                        call.col,
+                    )
+            # (b) collector builtins over a population-scale iterable
+            if call.callee in COLLECTOR_BUILTINS:
+                for arg in call.args:
+                    label = population_evidence(arg)
+                    if label is not None:
+                        yield (
+                            f"'{call.callee}({label})' materialises the "
+                            "population",
+                            call.line,
+                            call.col,
+                        )
+                        break
+        # (c) per-account container builds inside a population-scale loop
+        pop_loop = next(
+            (
+                label
+                for header in loops
+                for label in [population_evidence(header.expr)]
+                if label is not None
+            ),
+            None,
+        )
+        if pop_loop is None:
+            return
+        for path_written, mode in op.writes:
+            if mode == "mutate":
+                yield (
+                    f"per-account build of '{path_written}' inside the "
+                    f"population loop over {pop_loop}",
+                    op.line,
+                    op.col,
+                )
+                return
+        for call in op.expr.calls:
+            if call.callee is None:
+                continue
+            parts = call.callee.split(".")
+            if len(parts) >= 2 and parts[-1] in GROWTH_METHODS:
+                yield (
+                    f"per-account build of '{'.'.join(parts[:-1])}' inside "
+                    f"the population loop over {pop_loop}",
+                    call.line,
+                    call.col,
+                )
+                return
+
+
+@register
+class QuadraticLoopRule(WholeProgramRule):
+    """No population-quadratic nested loops on city-tier paths.
+
+    Rationale: an inner loop over a population-scale iterable (the
+    typed catalogue: people/account containers, ``range(n_accounts)``
+    row sweeps, CSR adjacency arrays) inside an outer population loop
+    is O(N²) / O(N·E) — seconds at school tier, days at city tier.
+    The classic shape is a linear scan used as a lookup; at a million
+    rows every such scan needs an index.
+
+    Fix: build the lookup once at construction time (eager index in
+    ``__init__`` — exempt as the setup seam) or restructure to a
+    single sorted/merged sweep.
+
+    Suppression: ``# repro-lint: allow(SCALE002) -- <why the inner
+    iterable is actually bounded>`` on the inner loop header.
+    """
+
+    rule_id = "SCALE002"
+    summary = "population-quadratic nested loop reachable from a scale entry"
+    category = "scale"
+    honors_inline_suppressions = True
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        analysis = analysis_for(index)
+        entries = scale_entries(index)
+        if not entries:
+            return
+        reached_by, chains = _reached(analysis, entries)
+        seen: Set[Tuple[str, int, int]] = set()
+        for fqn in sorted(reached_by):
+            if _exempt(fqn):
+                continue
+            module, _, _qualname = fqn.partition(":")
+            summary = index.modules.get(module)
+            fn = analysis.functions.get(fqn)
+            if summary is None or fn is None:
+                continue
+            chain = _render_chain(chains[fqn])
+            for op, loops in _loop_stack_walk(fn):
+                if not op.loop or not loops:
+                    continue
+                inner = population_evidence(op.expr) or graph_evidence(op.expr)
+                if inner is None:
+                    continue
+                outer = next(
+                    (
+                        label
+                        for header in loops
+                        for label in [population_evidence(header.expr)]
+                        if label is not None
+                    ),
+                    None,
+                )
+                if outer is None:
+                    continue
+                key = (module, op.line, op.col)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Finding(
+                    path=summary.path,
+                    line=op.line,
+                    col=op.col,
+                    rule=self.rule_id,
+                    message=(
+                        f"population-quadratic loop: iterates {inner} inside "
+                        f"the population loop over {outer} (reached via "
+                        f"{chain}); build an index at construction time "
+                        "instead of scanning per row"
+                    ),
+                )
+
+
+@register
+class UnboundedAccumulationRule(WholeProgramRule):
+    """Streaming handlers must accumulate under a budget.
+
+    Rationale: per-page / per-fetch callables run once per crawled
+    page — unbounded at city tier.  A handler that appends to a
+    container without any budget/cap in scope grows memory linearly
+    with pages fetched, which is exactly how a week-long crawl dies at
+    hour forty.  The crawl engine's own handlers thread
+    ``plan.budget`` / ``remaining`` counters; this rule makes that
+    discipline mechanical.
+
+    Fix: thread the crawl budget (or an explicit cap) into the handler
+    and stop accumulating when it is spent, or spill to the store
+    instead of growing in-memory state.
+
+    Suppression: ``# repro-lint: allow(SCALE003) -- <why growth is
+    bounded>`` on the handler's ``def`` line (covers decorators).
+    """
+
+    rule_id = "SCALE003"
+    summary = "streaming handler accumulates without a budget or cap in scope"
+    category = "scale"
+    honors_inline_suppressions = True
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        analysis = analysis_for(index)
+        entries = serve_entries(index)
+        if not entries:
+            return
+        reached_by, chains = _reached(analysis, entries)
+        for fqn in sorted(reached_by):
+            if _exempt(fqn):
+                continue
+            module, _, qualname = fqn.partition(":")
+            name = qualname.rsplit(".", 1)[-1]
+            if not mentions_token(name, STREAM_HANDLER_TOKENS):
+                continue
+            summary = index.modules.get(module)
+            fn = analysis.functions.get(fqn)
+            if summary is None or fn is None:
+                continue
+            growth = self._growth_targets(fn)
+            if not growth or self._budget_in_scope(fn):
+                continue
+            chain = _render_chain(chains[fqn])
+            targets = ", ".join(sorted(growth))
+            yield Finding(
+                path=summary.path,
+                line=fn.line,
+                col=0,
+                rule=self.rule_id,
+                message=(
+                    f"streaming handler '{qualname}' grows {targets} with no "
+                    f"budget or cap in scope (reached via {chain}); thread "
+                    "the crawl budget or spill to the store"
+                ),
+            )
+
+    @staticmethod
+    def _growth_targets(fn: FunctionInfo) -> Set[str]:
+        """Containers this handler grows: ``self.*``/global mutate writes
+        and growth-method calls on non-local receivers."""
+        locals_bound = {name for op in fn.ops for name in op.targets}
+        growth: Set[str] = set()
+        for op in fn.ops:
+            for path, mode in op.writes:
+                root = path.split(".", 1)[0]
+                if mode == "mutate" and (
+                    root == "self" or root not in locals_bound
+                ):
+                    growth.add(path)
+            for call in op.expr.calls:
+                if call.callee is None:
+                    continue
+                parts = call.callee.split(".")
+                if len(parts) < 2 or parts[-1] not in GROWTH_METHODS:
+                    continue
+                receiver = ".".join(parts[:-1])
+                root = parts[0]
+                if root == "self" or root not in locals_bound:
+                    growth.add(receiver)
+        return growth
+
+    @staticmethod
+    def _budget_in_scope(fn: FunctionInfo) -> bool:
+        for param in fn.params:
+            if mentions_token(param, BUDGET_TOKENS):
+                return True
+        for op in fn.ops:
+            for name in (*op.targets, *op.expr.names):
+                if mentions_token(name, BUDGET_TOKENS):
+                    return True
+            for read in op.expr.reads:
+                if mentions_token(read.attr, BUDGET_TOKENS):
+                    return True
+            for call in op.expr.calls:
+                if call.callee is not None and mentions_token(
+                    call.callee, BUDGET_TOKENS
+                ):
+                    return True
+        return False
+
+
+def _materializer_fqns(index: ProjectIndex) -> Set[str]:
+    """Resolved identities of the catalogued per-person materialisers."""
+    out: Set[str] = set()
+    for module, name in MATERIALIZING_FUNCTIONS:
+        summary = index.modules.get(module)
+        if summary is not None and name in summary.functions:
+            out.add(f"{module}:{name}")
+    for module, name in MATERIALIZING_CLASSES:
+        summary = index.modules.get(module)
+        if summary is not None and name in summary.classes:
+            out.add(f"{module}:{name}")
+            out.add(f"{module}:{name}.__init__")
+    return out

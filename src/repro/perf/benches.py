@@ -456,6 +456,11 @@ def bench_lint(
     entirely from the cache — ``warm_files_reparsed`` carries
     ``max_value=0``, so a cache-key bug that silently reverts lint CI
     to cold cost fails the bench outright rather than just slowing it.
+
+    A second cold/warm pair runs only the scale pass (SCALE001-003 +
+    DET002) against its own cache, so the interprocedural reachability
+    analysis is costed separately from the per-file rule set and its
+    cache signature (a strict subset of rule ids) is exercised too.
     """
     import tempfile
 
@@ -467,17 +472,29 @@ def bench_lint(
     targets = list(paths) if paths else default_paths()
     rules = all_rules()
     signature = rule_signature([rule.rule_id for rule in rules])
+    scale_ids = {"SCALE001", "SCALE002", "SCALE003", "DET002"}
+    scale_rules = [rule for rule in rules if rule.rule_id in scale_ids]
+    scale_signature = rule_signature([rule.rule_id for rule in scale_rules])
 
-    def one_run(cache_file: str) -> "tuple[float, Any]":
-        cache = LintCache(cache_file, signature)
+    def one_run(
+        cache_file: str, selected: Any, sig: str
+    ) -> "tuple[float, Any]":
+        cache = LintCache(cache_file, sig)
         start = time.perf_counter()
-        report = lint_paths(targets, rules=rules, cache=cache, jobs=jobs)
+        report = lint_paths(targets, rules=selected, cache=cache, jobs=jobs)
         return time.perf_counter() - start, report
 
     with tempfile.TemporaryDirectory(prefix="repro-lint-bench-") as tmp:
         cache_file = f"{tmp}/cache.json"
-        cold_wall, cold = one_run(cache_file)
-        warm_wall, warm = one_run(cache_file)
+        cold_wall, cold = one_run(cache_file, rules, signature)
+        warm_wall, warm = one_run(cache_file, rules, signature)
+        scale_cache = f"{tmp}/scale-cache.json"
+        scale_cold_wall, scale_cold = one_run(
+            scale_cache, scale_rules, scale_signature
+        )
+        scale_warm_wall, scale_warm = one_run(
+            scale_cache, scale_rules, scale_signature
+        )
 
     metrics = {
         "cold_files_per_second": metric(
@@ -495,6 +512,18 @@ def bench_lint(
         "warm_cache_hits": metric(warm.cache_hits, "count", "exact"),
         "warm_files_reparsed": metric(
             warm.files_reparsed, "count", "exact", max_value=0
+        ),
+        "scale_cold_files_per_second": metric(
+            scale_cold.files_checked / scale_cold_wall, "files/sec", "higher",
+            tolerance_pct=THROUGHPUT_TOLERANCE_PCT,
+        ),
+        "scale_warm_files_per_second": metric(
+            scale_warm.files_checked / scale_warm_wall, "files/sec", "higher",
+            tolerance_pct=THROUGHPUT_TOLERANCE_PCT,
+        ),
+        "scale_findings": metric(len(scale_cold.findings), "count", "exact"),
+        "scale_warm_files_reparsed": metric(
+            scale_warm.files_reparsed, "count", "exact", max_value=0
         ),
         "peak_rss_bytes": metric(
             peak_rss_bytes(), "bytes", "lower", tolerance_pct=RSS_TOLERANCE_PCT

@@ -290,3 +290,135 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in ("ORACLE001", "ORACLE002", "DET001", "CLOCK001", "MUT001"):
             assert rule_id in out
+
+
+# ----------------------------------------------------------------------
+# Worker crashes: contained as LINT002, identical across --jobs values
+# ----------------------------------------------------------------------
+
+class TestWorkerCrash:
+    def _with_boom_rule(self):
+        from repro.lint import all_rules
+        from repro.lint.rules.base import Rule, register
+
+        @register
+        class _BoomRule(Rule):
+            rule_id = "TST900"
+            summary = "synthetic crash fixture"
+
+            def check(self, ctx):
+                if "BOOM_MARKER" in ctx.source:
+                    raise RuntimeError("synthetic rule crash")
+                return iter(())
+
+        return all_rules()
+
+    def _pop_boom_rule(self):
+        from repro.lint.rules.base import _REGISTRY
+
+        _REGISTRY.pop("TST900", None)
+
+    def test_crash_becomes_lint002_with_the_child_traceback(self, tmp_path):
+        rules = self._with_boom_rule()
+        try:
+            healthy = _write(tmp_path, "a.py", "x = 1\n")
+            doomed = _write(tmp_path, "b.py", "BOOM_MARKER = 1\n")
+            report = lint_paths([healthy, doomed], rules=rules)
+            assert [f.rule for f in report.findings] == [PARSE_ERROR_RULE]
+            crash = report.findings[0]
+            assert crash.path == doomed
+            assert "RuntimeError('synthetic rule crash')" in crash.message
+            assert "Traceback" in crash.message
+            assert report.infrastructure_errors == 1
+        finally:
+            self._pop_boom_rule()
+
+    def test_pool_output_matches_serial_and_siblings_survive(self, tmp_path):
+        rules = self._with_boom_rule()
+        try:
+            paths = [
+                _write(tmp_path, "a.py", "def f(xs=[]):\n    return xs\n"),
+                _write(tmp_path, "b.py", "BOOM_MARKER = 1\n"),
+                _write(tmp_path, "c.py", "x = 1\n"),
+            ]
+            serial = lint_paths(paths, rules=rules, jobs=1)
+            pooled = lint_paths(paths, rules=rules, jobs=2)
+            assert pooled.findings == serial.findings
+            rules_seen = {f.rule for f in serial.findings}
+            # the sibling file's MUT001 finding survived the crash
+            assert {"MUT001", PARSE_ERROR_RULE} <= rules_seen
+        finally:
+            self._pop_boom_rule()
+
+    def test_crash_is_an_infrastructure_exit(self, tmp_path):
+        self._with_boom_rule()
+        try:
+            doomed = _write(tmp_path, "b.py", "BOOM_MARKER = 1\n")
+            assert main(["lint", "--no-cache", doomed]) == 2
+        finally:
+            self._pop_boom_rule()
+
+
+# ----------------------------------------------------------------------
+# Cache invalidation: adding a rule *module* must cold the cache
+# ----------------------------------------------------------------------
+
+class TestRuleSourceCacheInvalidation:
+    def _register_fixture_rule(self):
+        from repro.lint.rules.base import Rule, register
+
+        @register
+        class _FreshRule(Rule):
+            rule_id = "TST901"
+            summary = "cache invalidation fixture"
+
+            def check(self, ctx):
+                return iter(())
+
+    def _pop_fixture_rule(self):
+        from repro.lint.rules.base import _REGISTRY
+
+        _REGISTRY.pop("TST901", None)
+
+    def test_signature_changes_when_a_rule_module_joins(self):
+        from repro.lint import rule_signature
+
+        selected = ["MUT001", "DET001"]
+        before = rule_signature(selected)
+        self._register_fixture_rule()
+        try:
+            # Same engine version, same summary version, same *selected*
+            # ids — only the registry grew.  The source digest must move.
+            after = rule_signature(selected)
+        finally:
+            self._pop_fixture_rule()
+        assert after != before
+        assert rule_signature(selected) == before
+
+    def test_new_rule_module_colds_a_warm_cache(self, tmp_path):
+        from repro.lint import LintCache, all_rules, rule_signature
+
+        source_path = _write(tmp_path, "m.py", "x = 1\n")
+        cache_path = str(tmp_path / "cache.json")
+        selected = [rule.rule_id for rule in all_rules()]
+
+        cold = lint_paths(
+            [source_path], cache=LintCache(cache_path, rule_signature(selected))
+        )
+        assert cold.files_reparsed == 1
+        warm = lint_paths(
+            [source_path], cache=LintCache(cache_path, rule_signature(selected))
+        )
+        assert warm.cache_hits == 1 and warm.files_reparsed == 0
+
+        self._register_fixture_rule()
+        try:
+            stale = lint_paths(
+                [source_path],
+                cache=LintCache(cache_path, rule_signature(selected)),
+            )
+            # the selected id set did not change, but a registered rule
+            # module did: every entry must be treated as stale
+            assert stale.cache_hits == 0 and stale.files_reparsed == 1
+        finally:
+            self._pop_fixture_rule()

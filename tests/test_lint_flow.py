@@ -359,12 +359,24 @@ class TestExitCodes:
 # Baseline properties
 # ----------------------------------------------------------------------
 
+#: Rule-id universe deliberately mixes synthetic ids with the scale
+#: pass's real ones: scale findings embed call-chain witnesses in their
+#: messages, so the partition property must hold for long, punctuated
+#: message texts too.
 _FINDING_ROWS = st.lists(
     st.tuples(
-        st.sampled_from(["AAA001", "BBB002"]),
-        st.sampled_from(["a.py", "b.py"]),
+        st.sampled_from(["AAA001", "BBB002", "SCALE001", "SCALE002", "DET002"]),
+        st.sampled_from(["a.py", "b.py", "src/repro/colgen/serve.py"]),
         st.integers(min_value=1, max_value=50),
-        st.sampled_from(["first message", "second message"]),
+        st.sampled_from(
+            [
+                "first message",
+                "second message",
+                "per-person decode 'person_view' on a city-tier path "
+                "(reached via cmd_crawl -> CrawlScheduler.run -> "
+                "PopulationView.person); stay columnar",
+            ]
+        ),
     ),
     max_size=12,
 )
